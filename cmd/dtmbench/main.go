@@ -1,0 +1,87 @@
+// Command dtmbench regenerates every experiment of the reproduction
+// (E1–E11): one per theorem of the paper, the Section 8 lower-bound
+// constructions, and the baseline/ablation comparisons. Its output is the
+// source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dtmbench [-quick] [-trials N] [-seed S] [-only E5[,E6,…]] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dtmsched/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		trials = flag.Int("trials", 3, "random instances per parameter cell")
+		seed   = flag.Int64("seed", 0, "root seed (0 = library default)")
+		only   = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		md     = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
+		csv    = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Trials = *trials
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dtmbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch {
+		case *md:
+			fmt.Printf("## %s — %s\n\n*%s* (completed in %s)\n\n```\n%s```\n\n", res.ID, res.Title, res.Ref, elapsed, res.Table)
+		case *csv:
+			fmt.Printf("# %s,%s\n%s\n", res.ID, res.Title, res.Table.CSV())
+		default:
+			fmt.Printf("=== %s — %s [%s] (%s)\n\n%s\n", res.ID, res.Title, res.Ref, elapsed, res.Table)
+		}
+		for _, c := range res.Checks {
+			mark := "PASS"
+			if !c.OK {
+				mark = "FAIL"
+				failures++
+			}
+			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dtmbench: %d shape checks failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+// Command dtmviz renders the paper's figures (1–6) as ASCII drawings and,
+// optionally, a Gantt chart of a freshly scheduled instance.
+//
+// Usage:
+//
+//	dtmviz -fig N          render paper figure N (1–6)
+//	dtmviz -fig all        render every figure
+//	dtmviz -gantt clique   schedule a small instance and draw it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtmsched/internal/asciiviz"
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "paper figure to render: 1..6 or 'all'")
+		gantt = flag.String("gantt", "", "draw a schedule on: clique|line|grid|cluster|star")
+		dot   = flag.String("dot", "", "emit Graphviz DOT for a topology: clique|line|grid|cluster|star|hypercube|butterfly")
+		n     = flag.Int("n", 16, "instance size parameter for -gantt/-dot")
+	)
+	flag.Parse()
+	if *fig == "" && *gantt == "" && *dot == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *dot != "" {
+		if err := emitDOT(*dot, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmviz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	figs := map[string]func() string{
+		// Figure 1: line with n=32, ℓ=8 (paper's exact parameters).
+		"1": func() string { return asciiviz.Line(32, 8) },
+		// Figure 2: 16×16 grid with 4×4 subgrids.
+		"2": func() string { return asciiviz.GridSnake(16, 4) },
+		// Figure 3: 5 clusters of 6 nodes.
+		"3": func() string { return asciiviz.Cluster(5, 6, 12) },
+		// Figure 4: 8 rays of 7 nodes with segment rings.
+		"4": func() string { return asciiviz.Star(8, 7) },
+		// Figure 5: lower-bound grid blocks.
+		"5": func() string { return asciiviz.Blocks(16, false) },
+		// Figure 6: lower-bound tree blocks.
+		"6": func() string { return asciiviz.Blocks(16, true) },
+	}
+	if *fig == "all" {
+		for _, id := range []string{"1", "2", "3", "4", "5", "6"} {
+			fmt.Printf("——— Figure %s ———\n%s\n", id, figs[id]())
+		}
+	} else if *fig != "" {
+		render, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dtmviz: unknown figure %q (want 1-6 or all)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(render())
+	}
+
+	if *gantt != "" {
+		if err := drawGantt(*gantt, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmviz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func drawGantt(kind string, n int) error {
+	rng := xrand.New(xrand.DefaultSeed)
+	w, k := maxOf(n/2, 2), 2
+	wl := tm.UniformK(w, k)
+	var in *tm.Instance
+	var sched core.Scheduler
+	switch kind {
+	case "clique":
+		t := topology.NewClique(n)
+		in = wl.Generate(rng, t.Graph(), nil, t.Graph().Nodes(), tm.PlaceAtRandomUser)
+		sched = &core.Greedy{}
+	case "line":
+		t := topology.NewLine(n)
+		in = wl.Generate(rng, t.Graph(), nil, t.Graph().Nodes(), tm.PlaceAtRandomUser)
+		sched = &core.Line{Topo: t}
+	case "grid":
+		side := 4
+		for side*side < n {
+			side++
+		}
+		t := topology.NewSquareGrid(side)
+		in = wl.Generate(rng, t.Graph(), nil, t.Graph().Nodes(), tm.PlaceAtRandomUser)
+		sched = &core.Grid{Topo: t}
+	case "cluster":
+		t := topology.NewCluster(4, maxOf(n/4, 2), int64(maxOf(n/2, 4)))
+		in = wl.Generate(rng, t.Graph(), nil, t.Graph().Nodes(), tm.PlaceAtRandomUser)
+		sched = &core.Cluster{Topo: t, Rng: rng}
+	case "star":
+		t := topology.NewStar(4, maxOf(n/4, 2))
+		in = wl.Generate(rng, t.Graph(), nil, t.Graph().Nodes(), tm.PlaceAtRandomUser)
+		sched = &core.Star{Topo: t, Rng: rng}
+	default:
+		return fmt.Errorf("unknown gantt topology %q", kind)
+	}
+	res, err := sched.Schedule(in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(asciiviz.Gantt(in, res.Schedule, 128, 200))
+	fmt.Println()
+	for o := 0; o < minOf(in.NumObjects, 4); o++ {
+		fmt.Print(asciiviz.ObjectJourney(in, res.Schedule, tm.ObjectID(o)))
+	}
+	return nil
+}
+
+// emitDOT prints a topology's graph in Graphviz format.
+func emitDOT(kind string, n int) error {
+	var g interface{ Graph() *graph.Graph }
+	switch kind {
+	case "clique":
+		g = topology.NewClique(n)
+	case "line":
+		g = topology.NewLine(n)
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		g = topology.NewSquareGrid(side)
+	case "cluster":
+		g = topology.NewCluster(4, maxOf(n/4, 2), int64(maxOf(n/2, 4)))
+	case "star":
+		g = topology.NewStar(4, maxOf(n/4, 2))
+	case "hypercube":
+		d := 1
+		for 1<<d < n {
+			d++
+		}
+		g = topology.NewHypercube(d)
+	case "butterfly":
+		g = topology.NewButterfly(3)
+	default:
+		return fmt.Errorf("unknown topology %q for -dot", kind)
+	}
+	fmt.Print(g.Graph().DOT())
+	return nil
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minOf(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

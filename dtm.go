@@ -1,0 +1,359 @@
+// Package dtmsched is the public API of dtmsched, a library of provably fast
+// transaction schedulers for distributed transactional memory in the
+// data-flow model, reproducing "Fast Scheduling in Distributed
+// Transactional Memory" (Busch, Herlihy, Popovic, Sharma; SPAA 2017).
+//
+// A System couples a communication topology with a batch of transactions
+// (one per node) over mobile shared objects. Run applies a scheduling
+// algorithm, verifies the resulting schedule against the synchronous
+// simulator, computes the instance's certified execution-time lower bound,
+// and reports the approximation ratio.
+//
+// Quickstart:
+//
+//	sys := dtmsched.NewCliqueSystem(64, dtmsched.Uniform(16, 2), dtmsched.Seed(1))
+//	rep, err := sys.Run(dtmsched.AlgGreedy)
+//	// rep.Makespan, rep.LowerBound, rep.Ratio, rep.CommCost …
+package dtmsched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dtmsched/internal/baseline"
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/sim"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+// Re-exported identifier types.
+type (
+	// NodeID identifies a node of the communication graph.
+	NodeID = graph.NodeID
+	// ObjectID identifies a shared object.
+	ObjectID = tm.ObjectID
+	// TxnID identifies a transaction.
+	TxnID = tm.TxnID
+)
+
+// Algorithm names an available scheduling algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgAuto picks the paper's scheduler matching the system topology.
+	AlgAuto Algorithm = "auto"
+	// AlgGreedy is the Section 2.3 greedy dependency-graph coloring
+	// schedule (Theorem 1 on cliques; Section 3.1 elsewhere).
+	AlgGreedy Algorithm = "greedy"
+	// AlgLine is the Section 4 two-phase line schedule.
+	AlgLine Algorithm = "line"
+	// AlgGrid is the Section 5 subgrid column-major schedule.
+	AlgGrid Algorithm = "grid"
+	// AlgCluster is Theorem 4's min of the two cluster approaches.
+	AlgCluster Algorithm = "cluster"
+	// AlgClusterGreedy forces cluster Approach 1.
+	AlgClusterGreedy Algorithm = "cluster1"
+	// AlgClusterRandom forces cluster Approach 2 (Algorithm 1).
+	AlgClusterRandom Algorithm = "cluster2"
+	// AlgStar is the Section 7 segment/period star schedule.
+	AlgStar Algorithm = "star"
+	// AlgStarGreedy forces star Approach 1 per period.
+	AlgStarGreedy Algorithm = "star1"
+	// AlgStarRandom forces star Approach 2 per period.
+	AlgStarRandom Algorithm = "star2"
+	// AlgSequential is the global-lock baseline.
+	AlgSequential Algorithm = "sequential"
+	// AlgList is the FIFO list-scheduling baseline.
+	AlgList Algorithm = "list"
+	// AlgRandomOrder is the random-priority list-scheduling baseline.
+	AlgRandomOrder Algorithm = "random"
+)
+
+// Algorithms lists every selectable algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgAuto, AlgGreedy, AlgLine, AlgGrid, AlgCluster,
+		AlgClusterGreedy, AlgClusterRandom, AlgStar, AlgStarGreedy,
+		AlgStarRandom, AlgSequential, AlgList, AlgRandomOrder}
+}
+
+// Workload describes how transactions pick their object sets; construct
+// one with Uniform, Zipf, Hotspot, Partitioned, Neighborhood, or
+// SingleObject.
+type Workload struct{ w tm.Workload }
+
+// Uniform gives every transaction a uniformly random k-subset of w objects
+// (the Grid problem's input model).
+func Uniform(w, k int) Workload { return Workload{tm.UniformK(w, k)} }
+
+// Zipf skews object popularity (hot objects requested far more often).
+func Zipf(w, k int) Workload { return Workload{tm.ZipfK(w, k)} }
+
+// Hotspot makes all transactions share object 0 plus k−1 uniform others.
+func Hotspot(w, k int) Workload { return Workload{tm.HotspotK(w, k)} }
+
+// SingleObject is the classic one-shared-object workload of earlier
+// data-flow literature.
+func SingleObject() Workload { return Workload{tm.SingleObject()} }
+
+// Options configures system construction.
+type Options struct {
+	// Seed roots every random choice (workload, placement, randomized
+	// schedulers). The default is xrand.DefaultSeed.
+	Seed int64
+	// Placement picks initial object homes; default places each object
+	// at a random requester, per the paper.
+	Placement tm.Placement
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// Seed sets the root seed.
+func Seed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// PlaceFirstUser homes each object deterministically at its lowest-ID
+// requester.
+func PlaceFirstUser() Option {
+	return func(o *Options) { o.Placement = tm.PlaceAtFirstUser }
+}
+
+// PlaceRandomNode homes each object at a uniformly random node (not
+// necessarily a requester).
+func PlaceRandomNode() Option {
+	return func(o *Options) { o.Placement = tm.PlaceRandom }
+}
+
+// System is a topology plus a generated problem instance, ready to
+// schedule.
+type System struct {
+	topo topology.Topology
+	in   *tm.Instance
+	seed int64
+}
+
+func newSystem(topo topology.Topology, w Workload, opts []Option) *System {
+	o := Options{Seed: xrand.DefaultSeed, Placement: tm.PlaceAtRandomUser}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	g := topo.Graph()
+	rng := xrand.NewDerived(o.Seed, "workload", g.Name())
+	metric := graph.FuncMetric(topo.Dist)
+	in := w.w.Generate(rng, g, metric, g.Nodes(), o.Placement)
+	return &System{topo: topo, in: in, seed: o.Seed}
+}
+
+// NewCliqueSystem builds a system on the complete graph K_n.
+func NewCliqueSystem(n int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewClique(n), w, opts)
+}
+
+// NewLineSystem builds a system on the n-node line.
+func NewLineSystem(n int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewLine(n), w, opts)
+}
+
+// NewGridSystem builds a system on the side×side grid.
+func NewGridSystem(side int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewSquareGrid(side), w, opts)
+}
+
+// NewHypercubeSystem builds a system on the dim-dimensional hypercube.
+func NewHypercubeSystem(dim int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewHypercube(dim), w, opts)
+}
+
+// NewButterflySystem builds a system on the dim-dimensional butterfly.
+func NewButterflySystem(dim int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewButterfly(dim), w, opts)
+}
+
+// NewClusterSystem builds a system on α cliques of β nodes with bridge
+// weight γ.
+func NewClusterSystem(alpha, beta int, gamma int64, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewCluster(alpha, beta, gamma), w, opts)
+}
+
+// NewStarSystem builds a system on a star of α rays × β nodes.
+func NewStarSystem(alpha, beta int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewStar(alpha, beta), w, opts)
+}
+
+// NewTorusSystem builds a system on the rows×cols torus (extension
+// topology; the grid scheduler applies).
+func NewTorusSystem(rows, cols int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewTorus(rows, cols), w, opts)
+}
+
+// NewRingSystem builds a system on the n-node cycle (bus/token-ring
+// architectures; extension topology, scheduled greedily).
+func NewRingSystem(n int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewRing(n), w, opts)
+}
+
+// NewTreeSystem builds a system on the complete b-ary tree of the given
+// depth (hierarchical datacenters; extension topology, scheduled
+// greedily with the O(k·ℓ·d) diameter bound).
+func NewTreeSystem(branching, depth int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewBTree(branching, depth), w, opts)
+}
+
+// NewMultiGridSystem builds a system on the d-dimensional mesh with the
+// given per-dimension sizes (Section 3.1's log n-dimensional grids).
+func NewMultiGridSystem(dims []int, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewMultiGrid(dims...), w, opts)
+}
+
+// Topology returns the system's topology kind name.
+func (s *System) Topology() string { return s.topo.Kind().String() }
+
+// NumNodes returns the node count.
+func (s *System) NumNodes() int { return s.in.G.NumNodes() }
+
+// NumTxns returns the transaction count.
+func (s *System) NumTxns() int { return s.in.NumTxns() }
+
+// NumObjects returns w.
+func (s *System) NumObjects() int { return s.in.NumObjects }
+
+// Instance exposes the underlying problem instance for advanced use
+// (custom schedulers, direct simulator access).
+func (s *System) Instance() *tm.Instance { return s.in }
+
+// Report is the outcome of running one algorithm on a system.
+type Report struct {
+	// Algorithm is the concrete algorithm that ran (e.g.
+	// "cluster/approach2" when AlgCluster picked Approach 2).
+	Algorithm string
+	// Topology names the topology family.
+	Topology string
+	// Makespan is the schedule's execution time (Definition 1).
+	Makespan int64
+	// LowerBound is the instance's certified optimal-makespan lower
+	// bound; Ratio = Makespan / LowerBound overestimates the true
+	// approximation ratio.
+	LowerBound int64
+	// Ratio is Makespan / LowerBound.
+	Ratio float64
+	// CommCost is the total distance traveled by all objects, as
+	// measured by the simulator.
+	CommCost int64
+	// MaxUse is ℓ, MaxWalk the longest shortest object walk (lower
+	// bound side).
+	MaxUse  int
+	MaxWalk int64
+	// Stats carries algorithm-specific counters.
+	Stats map[string]int64
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%-20s on %-10s makespan=%-7d lb=%-6d ratio=%.2f comm=%d",
+		r.Algorithm, r.Topology, r.Makespan, r.LowerBound, r.Ratio, r.CommCost)
+}
+
+// Run schedules the system with the chosen algorithm, verifies the
+// schedule in the synchronous simulator, and reports makespan,
+// communication cost, and the approximation ratio against the certified
+// lower bound.
+func (s *System) Run(alg Algorithm) (*Report, error) {
+	sched, err := s.scheduler(alg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.Schedule(s.in)
+	if err != nil {
+		return nil, err
+	}
+	simRes, err := sim.Run(s.in, res.Schedule, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dtm: simulator rejected %s schedule: %w", res.Algorithm, err)
+	}
+	lb := lower.Compute(s.in)
+	rep := &Report{
+		Algorithm:  res.Algorithm,
+		Topology:   s.Topology(),
+		Makespan:   res.Makespan,
+		LowerBound: lb.Value,
+		CommCost:   simRes.CommCost,
+		MaxUse:     lb.MaxUse,
+		MaxWalk:    lb.MaxWalkLB,
+		Stats:      res.Stats,
+	}
+	if lb.Value > 0 {
+		rep.Ratio = float64(res.Makespan) / float64(lb.Value)
+	}
+	return rep, nil
+}
+
+// scheduler resolves an Algorithm name against the system's topology.
+func (s *System) scheduler(alg Algorithm) (core.Scheduler, error) {
+	rng := func(tag string) *rand.Rand { return xrand.NewDerived(s.seed, "alg", tag) }
+	if alg == AlgAuto {
+		switch t := s.topo.(type) {
+		case *topology.Line:
+			return &core.Line{Topo: t}, nil
+		case *topology.Grid:
+			return &core.Grid{Topo: t}, nil
+		case *topology.ClusterGraph:
+			return &core.Cluster{Topo: t, Rng: rng("cluster")}, nil
+		case *topology.Star:
+			return &core.Star{Topo: t, Rng: rng("star")}, nil
+		default:
+			return &core.Greedy{}, nil
+		}
+	}
+	switch alg {
+	case AlgGreedy:
+		return &core.Greedy{}, nil
+	case AlgLine:
+		t, ok := s.topo.(*topology.Line)
+		if !ok {
+			return nil, fmt.Errorf("dtm: %s requires a line topology, have %s", alg, s.Topology())
+		}
+		return &core.Line{Topo: t}, nil
+	case AlgGrid:
+		t, ok := s.topo.(*topology.Grid)
+		if !ok {
+			return nil, fmt.Errorf("dtm: %s requires a grid topology, have %s", alg, s.Topology())
+		}
+		return &core.Grid{Topo: t}, nil
+	case AlgCluster, AlgClusterGreedy, AlgClusterRandom:
+		t, ok := s.topo.(*topology.ClusterGraph)
+		if !ok {
+			return nil, fmt.Errorf("dtm: %s requires a cluster topology, have %s", alg, s.Topology())
+		}
+		ap := core.ClusterAuto
+		if alg == AlgClusterGreedy {
+			ap = core.ClusterApproach1
+		} else if alg == AlgClusterRandom {
+			ap = core.ClusterApproach2
+		}
+		return &core.Cluster{Topo: t, Rng: rng("cluster"), Approach: ap}, nil
+	case AlgStar, AlgStarGreedy, AlgStarRandom:
+		t, ok := s.topo.(*topology.Star)
+		if !ok {
+			return nil, fmt.Errorf("dtm: %s requires a star topology, have %s", alg, s.Topology())
+		}
+		ap := core.ClusterAuto
+		if alg == AlgStarGreedy {
+			ap = core.ClusterApproach1
+		} else if alg == AlgStarRandom {
+			ap = core.ClusterApproach2
+		}
+		return &core.Star{Topo: t, Rng: rng("star"), Approach: ap}, nil
+	case AlgSequential:
+		return baseline.Sequential{}, nil
+	case AlgList:
+		return baseline.List{}, nil
+	case AlgRandomOrder:
+		return baseline.Random{Rng: rng("baseline")}, nil
+	default:
+		return nil, fmt.Errorf("dtm: unknown algorithm %q", alg)
+	}
+}

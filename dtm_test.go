@@ -1,0 +1,171 @@
+package dtmsched_test
+
+import (
+	"strings"
+	"testing"
+
+	dtm "dtmsched"
+)
+
+func TestEveryAlgorithmOnItsTopology(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *dtm.System
+		alg  dtm.Algorithm
+	}{
+		{"clique/greedy", dtm.NewCliqueSystem(32, dtm.Uniform(8, 2)), dtm.AlgGreedy},
+		{"clique/auto", dtm.NewCliqueSystem(32, dtm.Uniform(8, 2)), dtm.AlgAuto},
+		{"line/line", dtm.NewLineSystem(64, dtm.Uniform(16, 2)), dtm.AlgLine},
+		{"line/auto", dtm.NewLineSystem(64, dtm.Uniform(16, 2)), dtm.AlgAuto},
+		{"grid/grid", dtm.NewGridSystem(8, dtm.Uniform(8, 2)), dtm.AlgGrid},
+		{"grid/auto", dtm.NewGridSystem(8, dtm.Uniform(8, 2)), dtm.AlgAuto},
+		{"hypercube/greedy", dtm.NewHypercubeSystem(5, dtm.Uniform(8, 2)), dtm.AlgGreedy},
+		{"hypercube/auto", dtm.NewHypercubeSystem(5, dtm.Uniform(8, 2)), dtm.AlgAuto},
+		{"butterfly/greedy", dtm.NewButterflySystem(3, dtm.Uniform(8, 2)), dtm.AlgGreedy},
+		{"torus/greedy", dtm.NewTorusSystem(6, 6, dtm.Uniform(8, 2)), dtm.AlgGreedy},
+		{"cluster/auto-sel", dtm.NewClusterSystem(4, 6, 8, dtm.Uniform(8, 2)), dtm.AlgCluster},
+		{"cluster/a1", dtm.NewClusterSystem(4, 6, 8, dtm.Uniform(8, 2)), dtm.AlgClusterGreedy},
+		{"cluster/a2", dtm.NewClusterSystem(4, 6, 8, dtm.Uniform(8, 2)), dtm.AlgClusterRandom},
+		{"star/auto-sel", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStar},
+		{"star/a1", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStarGreedy},
+		{"star/a2", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStarRandom},
+		{"baseline/seq", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgSequential},
+		{"baseline/list", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgList},
+		{"baseline/random", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgRandomOrder},
+		{"zipf", dtm.NewCliqueSystem(32, dtm.Zipf(16, 2)), dtm.AlgGreedy},
+		{"hotspot", dtm.NewCliqueSystem(32, dtm.Hotspot(16, 2)), dtm.AlgGreedy},
+		{"single-object", dtm.NewLineSystem(16, dtm.SingleObject()), dtm.AlgLine},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := tc.sys.Run(tc.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Makespan < rep.LowerBound {
+				t.Fatalf("makespan %d below certified lower bound %d — a bound is unsound",
+					rep.Makespan, rep.LowerBound)
+			}
+			if rep.Ratio < 1.0-1e-9 {
+				t.Fatalf("ratio %v < 1", rep.Ratio)
+			}
+			if rep.Algorithm == "" || rep.Topology == "" {
+				t.Fatalf("report incomplete: %+v", rep)
+			}
+			if !strings.Contains(rep.String(), rep.Topology) {
+				t.Fatal("report String() missing topology")
+			}
+		})
+	}
+}
+
+func TestAlgorithmTopologyMismatch(t *testing.T) {
+	sys := dtm.NewCliqueSystem(8, dtm.Uniform(4, 1))
+	for _, alg := range []dtm.Algorithm{dtm.AlgLine, dtm.AlgGrid, dtm.AlgCluster, dtm.AlgStar} {
+		if _, err := sys.Run(alg); err == nil {
+			t.Fatalf("%s accepted a clique system", alg)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	sys := dtm.NewCliqueSystem(8, dtm.Uniform(4, 1))
+	if _, err := sys.Run("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, err := dtm.NewGridSystem(8, dtm.Uniform(8, 2), dtm.Seed(5)).Run(dtm.AlgGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dtm.NewGridSystem(8, dtm.Uniform(8, 2), dtm.Seed(5)).Run(dtm.AlgGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.CommCost != b.CommCost {
+		t.Fatalf("same seed, different outcome: %v vs %v", a, b)
+	}
+	c, err := dtm.NewGridSystem(8, dtm.Uniform(8, 2), dtm.Seed(6)).Run(dtm.AlgGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan == c.Makespan && a.CommCost == c.CommCost {
+		t.Log("different seeds coincided (possible but unlikely); not failing")
+	}
+}
+
+func TestPlacementOptions(t *testing.T) {
+	for _, opt := range []dtm.Option{dtm.PlaceFirstUser(), dtm.PlaceRandomNode()} {
+		sys := dtm.NewCliqueSystem(16, dtm.Uniform(8, 2), opt)
+		if _, err := sys.Run(dtm.AlgGreedy); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := dtm.NewStarSystem(3, 5, dtm.Uniform(6, 2))
+	if sys.NumNodes() != 16 || sys.NumTxns() != 16 || sys.NumObjects() != 6 {
+		t.Fatalf("accessors wrong: n=%d txns=%d w=%d", sys.NumNodes(), sys.NumTxns(), sys.NumObjects())
+	}
+	if sys.Topology() != "star" {
+		t.Fatalf("Topology() = %q", sys.Topology())
+	}
+	if sys.Instance() == nil {
+		t.Fatal("Instance() nil")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algs := dtm.Algorithms()
+	if len(algs) < 10 {
+		t.Fatalf("Algorithms() = %v", algs)
+	}
+	seen := map[dtm.Algorithm]bool{}
+	for _, a := range algs {
+		if seen[a] {
+			t.Fatalf("duplicate algorithm %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestRatioConsistency(t *testing.T) {
+	rep, err := dtm.NewCliqueSystem(24, dtm.Uniform(8, 2)).Run(dtm.AlgGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(rep.Makespan) / float64(rep.LowerBound)
+	if rep.Ratio != want {
+		t.Fatalf("Ratio = %v, want %v", rep.Ratio, want)
+	}
+	if rep.MaxUse < 1 || rep.MaxWalk < 0 {
+		t.Fatalf("bound witnesses missing: %+v", rep)
+	}
+}
+
+func TestExtensionTopologySystems(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *dtm.System
+	}{
+		{"ring", dtm.NewRingSystem(24, dtm.Uniform(8, 2))},
+		{"tree", dtm.NewTreeSystem(2, 4, dtm.Uniform(8, 2))},
+		{"multigrid", dtm.NewMultiGridSystem([]int{4, 4, 4}, dtm.Uniform(8, 2))},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := tc.sys.Run(dtm.AlgGreedy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Makespan < rep.LowerBound {
+				t.Fatalf("makespan %d below bound %d", rep.Makespan, rep.LowerBound)
+			}
+		})
+	}
+}

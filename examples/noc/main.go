@@ -1,0 +1,60 @@
+// NoC: scheduling transactional workloads on a network-on-chip mesh.
+//
+// The paper motivates the grid topology with systems-on-chip and manycore
+// processors (XMOS, Xeon Phi). This example models a 16×16 tile processor
+// whose cores run one transaction each over a shared-object space and
+// contrasts three schedulers:
+//
+//   - the Section 5 subgrid schedule, which carries a *proven* O(k·log m)
+//     worst-case bound (Theorem 3);
+//   - FIFO list scheduling, a strong average-case heuristic with no bound;
+//   - random-priority serialization, the realistic model of a randomized
+//     contention manager.
+//
+// The point the table makes is the price and the value of guarantees: on
+// friendly uniform workloads the heuristic is often shorter, but its gap
+// to the certified lower bound drifts with contention, while the grid
+// schedule's normalized ratio (÷ k·ln m) stays flat — that flatness *is*
+// Theorem 3, observed empirically.
+//
+// Run with: go run ./examples/noc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	dtm "dtmsched"
+)
+
+func main() {
+	const side = 16 // 256 cores
+	w := 4 * side
+	lnM := math.Log(float64(w))
+	fmt.Printf("network-on-chip mesh %d×%d (%d cores), w=%d objects, uniform sharing\n\n", side, side, side*side, w)
+	fmt.Printf("%-3s | %-18s %-12s | %-10s | %-10s\n", "k", "grid (Thm 3)", "÷ k·ln m", "list", "random")
+
+	for _, k := range []int{1, 2, 4, 8} {
+		sys := dtm.NewGridSystem(side, dtm.Uniform(w, k), dtm.Seed(7))
+		grid, err := sys.Run(dtm.AlgGrid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		list, err := sys.Run(dtm.AlgList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd, err := sys.Run(dtm.AlgRandomOrder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3d | ratio %-6.2f       %-12.2f | %-10.2f | %-10.2f\n",
+			k, grid.Ratio, grid.Ratio/(float64(k)*lnM), list.Ratio, rnd.Ratio)
+	}
+
+	fmt.Println("\nthe guarantee's value: the grid column normalized by k·ln m stays flat as")
+	fmt.Println("contention k grows — exactly the Theorem 3 shape — whereas the heuristics'")
+	fmt.Println("ratios carry no bound at all; on adversarial inputs (see examples/lowerbound)")
+	fmt.Println("only the structured schedule's behavior is predictable.")
+}

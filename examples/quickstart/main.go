@@ -1,0 +1,42 @@
+// Quickstart: schedule a batch of transactions on a 64-node clique and
+// print the verified report — the smallest end-to-end use of the public
+// API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dtm "dtmsched"
+)
+
+func main() {
+	// 64 nodes, one transaction each; 16 shared objects; every
+	// transaction needs 2 of them.
+	sys := dtm.NewCliqueSystem(64, dtm.Uniform(16, 2), dtm.Seed(42))
+
+	// The greedy dependency-graph coloring schedule (Theorem 1: an O(k)
+	// approximation on cliques).
+	rep, err := sys.Run(dtm.AlgGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("distributed TM batch scheduling on a clique")
+	fmt.Printf("  nodes=%d objects=%d txns=%d\n", sys.NumNodes(), sys.NumObjects(), sys.NumTxns())
+	fmt.Printf("  makespan          : %d steps\n", rep.Makespan)
+	fmt.Printf("  certified optimum : ≥ %d steps\n", rep.LowerBound)
+	fmt.Printf("  approximation     : ≤ %.2fx  (Theorem 1 guarantees O(k)=O(2))\n", rep.Ratio)
+	fmt.Printf("  communication     : %d hop·steps of object movement\n", rep.CommCost)
+
+	// Compare against the global-lock baseline a naive distributed TM
+	// would use.
+	seq, err := sys.Run(dtm.AlgSequential)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  global lock would take %d steps (%.1fx worse)\n",
+		seq.Makespan, float64(seq.Makespan)/float64(rep.Makespan))
+}

@@ -1,0 +1,48 @@
+// Replication: what read-only replication buys a distributed TM.
+//
+// The paper's model keeps a single copy of every object, so even pure
+// readers serialize. The replicated/multi-version systems it surveys
+// (Section 1.2) relax exactly that: writers still serialize on the master
+// copy, but readers receive snapshots and never conflict. This example
+// sweeps the read share of a clique workload and shows the makespan
+// collapse as conflicts thin out — the quantitative case for
+// multi-versioning.
+//
+// Run with: go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	dtm "dtmsched"
+)
+
+func main() {
+	sys := dtm.NewCliqueSystem(96, dtm.Uniform(24, 2), dtm.Seed(33))
+	base, err := sys.Run(dtm.AlgGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clique of %d nodes, %d objects, k=2; single-copy greedy makespan: %d\n\n",
+		sys.NumNodes(), sys.NumObjects(), base.Makespan)
+	fmt.Printf("%-10s %-14s %-11s %-10s %s\n", "readFrac", "writeAccesses", "conflicts", "makespan", "")
+
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		rep, err := sys.RunReplicated(frac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("█", int(rep.Makespan))
+		if rep.Makespan > 60 {
+			bar = bar[:60] + "…"
+		}
+		fmt.Printf("%-10.2f %-14d %-11d %-10d %s\n",
+			frac, rep.WriteAccesses, rep.Conflicts, rep.Makespan, bar)
+	}
+
+	fmt.Println("\nwriters still chain on the master copy; at readFrac=1 the schedule is pure")
+	fmt.Println("copy distribution — one step on a clique. The conflict column is the size of")
+	fmt.Println("the write-conflict graph the scheduler actually has to color.")
+}

@@ -1,0 +1,154 @@
+package dtmsched
+
+// Extensions beyond the paper's batch offline model, addressing its
+// Section 9 open questions and Section 1.2 related directions:
+//
+//   - RunOnline: continuous transaction arrival with pluggable contention
+//     management (open question 1);
+//   - RunCongested: replay a schedule under bounded per-link capacity
+//     (open question 2);
+//   - RunReplicated: multi-version semantics where read-only accesses are
+//     served by replicas (related work on replicated/multi-version TMs).
+
+import (
+	"fmt"
+
+	"dtmsched/internal/congestion"
+	"dtmsched/internal/online"
+	"dtmsched/internal/replica"
+	"dtmsched/internal/xrand"
+)
+
+// Policy names an online contention-management policy.
+type Policy string
+
+// Online policies.
+const (
+	// PolicyFIFO serves the longest-waiting transaction first.
+	PolicyFIFO Policy = "fifo"
+	// PolicyNearest sends each freed object to its closest waiter.
+	PolicyNearest Policy = "nearest"
+	// PolicyRandom serves a uniformly random waiter.
+	PolicyRandom Policy = "random"
+)
+
+// OnlineReport is the outcome of an online execution.
+type OnlineReport struct {
+	// Policy is the contention-management policy that ran.
+	Policy string
+	// Makespan is the completion step of the last transaction.
+	Makespan int64
+	// CommCost is the total distance traveled by objects.
+	CommCost int64
+	// MeanResponse and MaxResponse measure commit − arrival.
+	MeanResponse float64
+	MaxResponse  int64
+}
+
+// RunOnline executes the system's transactions online: all released at
+// step 0 when rate ≤ 0, or arriving as a Poisson-like stream of the given
+// mean rate (transactions per step) otherwise. Objects are acquired in
+// object-ID order (deadlock- and abort-free); the policy decides which
+// waiting transaction each freed object serves next.
+func (s *System) RunOnline(pol Policy, rate float64) (*OnlineReport, error) {
+	var p online.Policy
+	switch pol {
+	case PolicyFIFO:
+		p = online.FIFO{}
+	case PolicyNearest:
+		p = online.Nearest{}
+	case PolicyRandom:
+		p = online.Random{Rng: xrand.NewDerived(s.seed, "online", "policy")}
+	default:
+		return nil, fmt.Errorf("dtm: unknown online policy %q", pol)
+	}
+	arrivals := online.BatchArrivals(s.in)
+	if rate > 0 {
+		arrivals = online.PoissonArrivals(xrand.NewDerived(s.seed, "online", "arrivals"), s.in, rate)
+	}
+	res, err := online.Run(s.in, arrivals, p)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineReport{
+		Policy:       res.Policy,
+		Makespan:     res.Makespan,
+		CommCost:     res.CommCost,
+		MeanResponse: res.MeanResponse,
+		MaxResponse:  res.MaxResponse,
+	}, nil
+}
+
+// CongestionReport is the outcome of a capacity-limited replay.
+type CongestionReport struct {
+	// Algorithm is the scheduler whose schedule was replayed.
+	Algorithm string
+	// Capacity is the per-edge concurrent-object limit.
+	Capacity int
+	// Makespan is the dilated completion step; IdealMakespan the
+	// unlimited-capacity replay of the same schedule.
+	Makespan, IdealMakespan int64
+	// Dilation is Makespan / IdealMakespan.
+	Dilation float64
+	// MaxQueue and Waits quantify link contention.
+	MaxQueue int
+	Waits    int64
+}
+
+// RunCongested schedules the system with alg, then replays the schedule
+// hop by hop with at most capacity objects per link at a time.
+func (s *System) RunCongested(alg Algorithm, capacity int) (*CongestionReport, error) {
+	sched, err := s.scheduler(alg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.Schedule(s.in)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := congestion.Replay(s.in, res.Schedule, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &CongestionReport{
+		Algorithm:     res.Algorithm,
+		Capacity:      rep.Capacity,
+		Makespan:      rep.Makespan,
+		IdealMakespan: rep.IdealMakespan,
+		Dilation:      rep.Dilation,
+		MaxQueue:      rep.MaxQueue,
+		Waits:         rep.Waits,
+	}, nil
+}
+
+// ReplicationReport is the outcome of a multi-version schedule.
+type ReplicationReport struct {
+	// ReadFraction is the share of accesses that were read-only.
+	ReadFraction float64
+	// WriteAccesses counts (transaction, object) write pairs.
+	WriteAccesses int
+	// Conflicts counts write-conflict graph edges.
+	Conflicts int
+	// Makespan is the multi-version schedule's execution time.
+	Makespan int64
+}
+
+// RunReplicated derives read/write sets with the given read fraction and
+// schedules under multi-version semantics: writers serialize on the
+// master copy, readers receive replicas and never conflict.
+func (s *System) RunReplicated(readFraction float64) (*ReplicationReport, error) {
+	if readFraction < 0 || readFraction > 1 {
+		return nil, fmt.Errorf("dtm: read fraction %v outside [0,1]", readFraction)
+	}
+	rw := replica.WithReadFraction(xrand.NewDerived(s.seed, "replica"), s.in, readFraction)
+	res, err := replica.Schedule(rw)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationReport{
+		ReadFraction:  readFraction,
+		WriteAccesses: rw.WriteCount(),
+		Conflicts:     res.Conflicts,
+		Makespan:      res.Makespan,
+	}, nil
+}

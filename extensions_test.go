@@ -1,0 +1,89 @@
+package dtmsched_test
+
+import (
+	"testing"
+
+	dtm "dtmsched"
+)
+
+func TestRunOnlinePolicies(t *testing.T) {
+	sys := dtm.NewCliqueSystem(24, dtm.Uniform(8, 2), dtm.Seed(3))
+	off, err := sys.Run(dtm.AlgGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []dtm.Policy{dtm.PolicyFIFO, dtm.PolicyNearest, dtm.PolicyRandom} {
+		rep, err := sys.RunOnline(pol, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if rep.Makespan < off.LowerBound {
+			t.Fatalf("%s: online makespan %d below certified bound %d", pol, rep.Makespan, off.LowerBound)
+		}
+		if rep.Policy == "" || rep.MeanResponse <= 0 {
+			t.Fatalf("%s: report incomplete: %+v", pol, rep)
+		}
+	}
+	if _, err := sys.RunOnline("bogus", 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunOnlinePoisson(t *testing.T) {
+	sys := dtm.NewLineSystem(32, dtm.Uniform(8, 2), dtm.Seed(4))
+	rep, err := sys.RunOnline(dtm.PolicyFIFO, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxResponse < 1 {
+		t.Fatalf("MaxResponse = %d", rep.MaxResponse)
+	}
+}
+
+func TestRunCongested(t *testing.T) {
+	sys := dtm.NewStarSystem(6, 4, dtm.Uniform(8, 2), dtm.Seed(5))
+	tight, err := sys.RunCongested(dtm.AlgStar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := sys.RunCongested(dtm.AlgStar, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Dilation < 1 || loose.Dilation != 1 {
+		t.Fatalf("dilations: tight %v, loose %v", tight.Dilation, loose.Dilation)
+	}
+	if tight.Makespan < loose.Makespan {
+		t.Fatal("capacity 1 faster than unlimited")
+	}
+	if _, err := sys.RunCongested(dtm.AlgStar, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := sys.RunCongested(dtm.AlgLine, 1); err == nil {
+		t.Fatal("mismatched algorithm accepted")
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	sys := dtm.NewCliqueSystem(32, dtm.Uniform(8, 2), dtm.Seed(6))
+	allWrites, err := sys.RunReplicated(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allReads, err := sys.RunReplicated(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allReads.Makespan > allWrites.Makespan {
+		t.Fatalf("all-reads makespan %d exceeds all-writes %d", allReads.Makespan, allWrites.Makespan)
+	}
+	if allReads.Conflicts != 0 || allReads.WriteAccesses != 0 {
+		t.Fatalf("all-reads report wrong: %+v", allReads)
+	}
+	if allWrites.WriteAccesses != 64 {
+		t.Fatalf("all-writes accesses = %d, want 64", allWrites.WriteAccesses)
+	}
+	if _, err := sys.RunReplicated(-0.1); err == nil {
+		t.Fatal("bad fraction accepted")
+	}
+}

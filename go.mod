@@ -1,0 +1,3 @@
+module dtmsched
+
+go 1.22

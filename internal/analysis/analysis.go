@@ -1,0 +1,194 @@
+// Package analysis derives explanatory statistics from a schedule: the
+// per-step concurrency profile, per-object travel/wait decomposition, and
+// the critical chain of tight object handoffs that pins the makespan.
+// The dtmsched CLI exposes it via -analyze; it is also the tool used when
+// investigating why a scheduler's constant is what it is.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// ObjectStats decomposes one object's lifetime under a schedule.
+type ObjectStats struct {
+	Object tm.ObjectID
+	// Users is how many transactions requested the object.
+	Users int
+	// Travel is the total distance (= steps in transit) the object
+	// covers along its route.
+	Travel int64
+	// Wait is the total steps the object sat at requesters' nodes
+	// between arrival and use, plus gaps between use and next demand.
+	Wait int64
+	// LastUse is the step of the object's final use.
+	LastUse int64
+}
+
+// Report is the full analysis of one (instance, schedule) pair.
+type Report struct {
+	Makespan int64
+	// PeakParallelism is the largest number of transactions committing
+	// in any single step; MeanParallelism averages over busy steps.
+	PeakParallelism int
+	MeanParallelism float64
+	// BusySteps counts steps in which at least one transaction commits.
+	BusySteps int
+	// CriticalLen is the number of transactions on the longest chain of
+	// tight handoffs (each executing exactly when its predecessor's
+	// object arrives); CriticalChain lists them in order.
+	CriticalLen   int
+	CriticalChain []tm.TxnID
+	// Objects has one entry per requested object, sorted by travel
+	// (descending) — the "hottest movers" first.
+	Objects []ObjectStats
+}
+
+// Analyze computes the report. The schedule must be feasible for the
+// instance (callers validate first).
+func Analyze(in *tm.Instance, s *schedule.Schedule) *Report {
+	rep := &Report{Makespan: s.Makespan()}
+
+	// Concurrency profile.
+	perStep := make(map[int64]int)
+	for _, t := range s.Times {
+		perStep[t]++
+	}
+	total := 0
+	for _, c := range perStep {
+		total += c
+		if c > rep.PeakParallelism {
+			rep.PeakParallelism = c
+		}
+	}
+	rep.BusySteps = len(perStep)
+	if rep.BusySteps > 0 {
+		rep.MeanParallelism = float64(total) / float64(rep.BusySteps)
+	}
+
+	// Object decomposition.
+	for o := 0; o < in.NumObjects; o++ {
+		oid := tm.ObjectID(o)
+		order := s.Order(in, oid)
+		if len(order) == 0 {
+			continue
+		}
+		st := ObjectStats{Object: oid, Users: len(order)}
+		prevNode := in.Home[oid]
+		prevTime := int64(0)
+		for _, id := range order {
+			d := in.Dist(prevNode, in.Txns[id].Node)
+			st.Travel += d
+			st.Wait += s.Times[id] - prevTime - d // slack in the handoff
+			prevNode = in.Txns[id].Node
+			prevTime = s.Times[id]
+		}
+		st.LastUse = prevTime
+		rep.Objects = append(rep.Objects, st)
+	}
+	sort.Slice(rep.Objects, func(i, j int) bool {
+		if rep.Objects[i].Travel != rep.Objects[j].Travel {
+			return rep.Objects[i].Travel > rep.Objects[j].Travel
+		}
+		return rep.Objects[i].Object < rep.Objects[j].Object
+	})
+
+	rep.CriticalChain = criticalChain(in, s)
+	rep.CriticalLen = len(rep.CriticalChain)
+	return rep
+}
+
+// criticalChain finds the longest chain T_1 → T_2 → … where consecutive
+// transactions share an object and T_{i+1} executes exactly when the
+// object can first arrive from T_i (a tight handoff). Chains of tight
+// handoffs are what the composer and coloring lower bounds manifest as.
+func criticalChain(in *tm.Instance, s *schedule.Schedule) []tm.TxnID {
+	m := in.NumTxns()
+	// preds[j] lists tight predecessors of j.
+	preds := make([][]tm.TxnID, m)
+	for o := 0; o < in.NumObjects; o++ {
+		order := s.Order(in, tm.ObjectID(o))
+		for i := 0; i+1 < len(order); i++ {
+			a, b := order[i], order[i+1]
+			if s.Times[b] == s.Times[a]+in.Dist(in.Txns[a].Node, in.Txns[b].Node) {
+				preds[b] = append(preds[b], a)
+			}
+		}
+	}
+	// Longest chain ending at each transaction, DP over time order.
+	order := make([]tm.TxnID, m)
+	for i := range order {
+		order[i] = tm.TxnID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return s.Times[order[a]] < s.Times[order[b]] })
+	bestLen := make([]int, m)
+	bestPrev := make([]tm.TxnID, m)
+	for i := range bestPrev {
+		bestPrev[i] = -1
+	}
+	var tail tm.TxnID = -1
+	tailLen := 0
+	for _, id := range order {
+		bestLen[id] = 1
+		for _, p := range preds[id] {
+			if bestLen[p]+1 > bestLen[id] {
+				bestLen[id] = bestLen[p] + 1
+				bestPrev[id] = p
+			}
+		}
+		if bestLen[id] > tailLen {
+			tailLen = bestLen[id]
+			tail = id
+		}
+	}
+	if tail < 0 {
+		return nil
+	}
+	chain := make([]tm.TxnID, 0, tailLen)
+	for id := tail; id >= 0; id = bestPrev[id] {
+		chain = append(chain, id)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// String renders the report for terminals.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %d over %d busy steps; parallelism peak %d, mean %.2f\n",
+		r.Makespan, r.BusySteps, r.PeakParallelism, r.MeanParallelism)
+	fmt.Fprintf(&sb, "critical chain: %d tight handoffs", r.CriticalLen)
+	if r.CriticalLen > 0 {
+		sb.WriteString(" (txns")
+		limit := r.CriticalLen
+		if limit > 12 {
+			limit = 12
+		}
+		for _, id := range r.CriticalChain[:limit] {
+			fmt.Fprintf(&sb, " %d", id)
+		}
+		if r.CriticalLen > limit {
+			sb.WriteString(" …")
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteByte('\n')
+	limit := len(r.Objects)
+	if limit > 8 {
+		limit = 8
+	}
+	for _, o := range r.Objects[:limit] {
+		fmt.Fprintf(&sb, "object %-4d users=%-4d travel=%-6d wait=%-6d lastUse=%d\n",
+			o.Object, o.Users, o.Travel, o.Wait, o.LastUse)
+	}
+	if len(r.Objects) > limit {
+		fmt.Fprintf(&sb, "… %d more objects\n", len(r.Objects)-limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package asciiviz
+
+import (
+	"strings"
+	"testing"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func TestLineFigure(t *testing.T) {
+	out := Line(32, 8)
+	if !strings.Contains(out, "n=32") || !strings.Contains(out, "S3") {
+		t.Fatalf("line figure missing markers:\n%s", out)
+	}
+	// 32 nodes: 16 phase-1 (●) and 16 phase-2 (○), plus one of each in
+	// the legend line.
+	if strings.Count(out, "●") != 17 || strings.Count(out, "○") != 17 {
+		t.Fatalf("phase markers wrong:\n%s", out)
+	}
+	// Degenerate ℓ is clamped.
+	if !strings.Contains(Line(4, 0), "ℓ=1") {
+		t.Fatal("ℓ clamp missing")
+	}
+}
+
+func TestGridSnakeFigure(t *testing.T) {
+	out := GridSnake(16, 4)
+	// 16 tiles numbered 1..16; the snake visits column 0 top-down.
+	if !strings.Contains(out, "[  1][  8]") {
+		t.Fatalf("snake order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "[ 16]") {
+		t.Fatalf("missing last tile:\n%s", out)
+	}
+}
+
+func TestClusterFigure(t *testing.T) {
+	out := Cluster(5, 6, 12)
+	if strings.Count(out, "(*)") != 5 {
+		t.Fatalf("want 5 bridge markers:\n%s", out)
+	}
+	if strings.Count(out, "(o)") != 25 {
+		t.Fatalf("want 25 plain nodes:\n%s", out)
+	}
+}
+
+func TestStarFigure(t *testing.T) {
+	out := Star(8, 7)
+	if !strings.Contains(out, "η=3") {
+		t.Fatalf("segment count missing:\n%s", out)
+	}
+	if strings.Count(out, "(ray") != 8 {
+		t.Fatalf("want 8 rays:\n%s", out)
+	}
+	// Each ray line shows segments 1,2,2,3,3,3,3.
+	if !strings.Contains(out, "-1-2-2-3-3-3-3") {
+		t.Fatalf("segment digits wrong:\n%s", out)
+	}
+}
+
+func TestBlocksFigure(t *testing.T) {
+	grid := Blocks(16, false)
+	if !strings.Contains(grid, "H1") || !strings.Contains(grid, "=16=") {
+		t.Fatalf("grid blocks missing markers:\n%s", grid)
+	}
+	tree := Blocks(16, true)
+	if !strings.Contains(tree, "tree") || !strings.Contains(tree, "leftmost column") {
+		t.Fatalf("tree blocks missing markers:\n%s", tree)
+	}
+}
+
+func TestGanttSmall(t *testing.T) {
+	topo := topology.NewClique(6)
+	in := tm.UniformK(4, 2).Generate(xrand.New(1), topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	res, err := (&core.Greedy{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(in, res.Schedule, 64, 100)
+	if strings.Count(out, "X  (t=") != 6 {
+		t.Fatalf("want 6 execution marks:\n%s", out)
+	}
+}
+
+func TestGanttTooLarge(t *testing.T) {
+	topo := topology.NewClique(4)
+	in := tm.UniformK(2, 1).Generate(xrand.New(2), topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	s := &schedule.Schedule{Times: []int64{1, 2, 3, 4}}
+	out := Gantt(in, s, 2, 100) // maxNodes too small
+	if !strings.Contains(out, "too large") {
+		t.Fatalf("oversize summary missing:\n%s", out)
+	}
+}
+
+func TestObjectJourney(t *testing.T) {
+	topo := topology.NewLine(5)
+	g := topo.Graph()
+	in := tm.NewInstance(g, graph.FuncMetric(topo.Dist), 1, []tm.Txn{
+		{Node: 0, Objects: []tm.ObjectID{0}},
+		{Node: 3, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+	s := &schedule.Schedule{Times: []int64{1, 4}}
+	out := ObjectJourney(in, s, 0)
+	if !strings.Contains(out, "home=node 0") || !strings.Contains(out, "t=4@node 3") {
+		t.Fatalf("journey wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "[d=3]") {
+		t.Fatalf("distance annotation missing:\n%s", out)
+	}
+}

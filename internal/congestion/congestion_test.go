@@ -1,0 +1,161 @@
+package congestion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func gridInstance(side, w, k int, seed int64) (*tm.Instance, *topology.Grid) {
+	topo := topology.NewSquareGrid(side)
+	in := tm.UniformK(w, k).Generate(xrand.New(seed), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	return in, topo
+}
+
+func scheduleOf(t testing.TB, in *tm.Instance, topo *topology.Grid) *schedule.Schedule {
+	t.Helper()
+	res, err := (&core.Grid{Topo: topo}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule
+}
+
+func TestReplayUnlimitedMatchesASAP(t *testing.T) {
+	in, topo := gridInstance(6, 8, 2, 1)
+	s := scheduleOf(t, in, topo)
+	res, err := Replay(in, s, 1<<20) // effectively unlimited
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waits != 0 {
+		t.Fatalf("huge capacity still waited %d times", res.Waits)
+	}
+	if res.Makespan != res.IdealMakespan {
+		t.Fatalf("unlimited replay %d != ideal %d", res.Makespan, res.IdealMakespan)
+	}
+	if res.Dilation != 1.0 {
+		t.Fatalf("dilation = %v", res.Dilation)
+	}
+	// ASAP replay can only tighten a feasible schedule, never beat the
+	// instance lower bound.
+	lb := lower.Compute(in)
+	if res.Makespan > s.Makespan() || res.Makespan < lb.Value {
+		t.Fatalf("ideal %d outside [lb %d, schedule %d]", res.Makespan, lb.Value, s.Makespan())
+	}
+}
+
+func TestReplayCapacityMonotone(t *testing.T) {
+	in, topo := gridInstance(6, 6, 2, 2)
+	s := scheduleOf(t, in, topo)
+	prev := int64(-1)
+	for _, cap := range []int{1, 2, 4, 64} {
+		res, err := Replay(in, s, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dilation < 1.0-1e-9 {
+			t.Fatalf("cap=%d dilation %v < 1", cap, res.Dilation)
+		}
+		if prev >= 0 && res.Makespan > prev {
+			t.Fatalf("makespan increased with capacity: cap=%d gives %d after %d", cap, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestReplayCongestedHotLink(t *testing.T) {
+	// A star forces every object through the center: capacity 1 on its
+	// edges must create measurable waits when many objects cross at once.
+	topo := topology.NewStar(6, 2)
+	in := tm.UniformK(12, 2).Generate(xrand.New(3), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	res, err := (&core.Star{Topo: topo, Rng: xrand.New(4)}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested, err := Replay(in, res.Schedule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congested.Makespan < congested.IdealMakespan {
+		t.Fatalf("congested %d < ideal %d", congested.Makespan, congested.IdealMakespan)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	in, topo := gridInstance(4, 4, 1, 5)
+	s := scheduleOf(t, in, topo)
+	if _, err := Replay(in, s, 0); err == nil {
+		t.Fatal("accepted capacity 0")
+	}
+	if _, err := Replay(in, &schedule.Schedule{Times: []int64{1}}, 1); err == nil {
+		t.Fatal("accepted wrong-length schedule")
+	}
+}
+
+func TestReplayWeightedEdges(t *testing.T) {
+	// Cluster graph: bridge edges have weight γ; replay must handle
+	// multi-step traversals.
+	topo := topology.NewCluster(3, 4, 6)
+	in := tm.UniformK(6, 2).Generate(xrand.New(6), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	res, err := (&core.Cluster{Topo: topo, Rng: xrand.New(7)}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, 8} {
+		r, err := Replay(in, res.Schedule, cap)
+		if err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		if r.Makespan < 1 {
+			t.Fatalf("cap=%d makespan %d", cap, r.Makespan)
+		}
+	}
+}
+
+// TestReplayAlwaysCompletesProperty: any feasible schedule replays to
+// completion at any capacity, with dilation ≥ 1 and makespan monotone
+// non-increasing in capacity.
+func TestReplayAlwaysCompletesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		side := 3 + r.Intn(5)
+		w := 2 + r.Intn(6)
+		k := 1 + r.Intn(minInt(w, 3))
+		in, topo := gridInstance(side, w, k, seed)
+		res, err := (&core.Grid{Topo: topo}).Schedule(in)
+		if err != nil {
+			return false
+		}
+		c1, err := Replay(in, res.Schedule, 1)
+		if err != nil {
+			return false
+		}
+		c8, err := Replay(in, res.Schedule, 8)
+		if err != nil {
+			return false
+		}
+		return c1.Dilation >= 1.0-1e-9 && c8.Dilation >= 1.0-1e-9 && c1.Makespan >= c8.Makespan
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

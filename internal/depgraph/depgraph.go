@@ -1,0 +1,183 @@
+// Package depgraph builds the transaction dependency (conflict) graph H of
+// Section 2.3 and colors it greedily. Nodes of H are transactions; an edge
+// joins two transactions that share at least one object, weighted by the
+// shortest-path distance between their nodes in the communication graph.
+// A valid coloring assigns each transaction a positive integer time step
+// such that adjacent transactions' colors differ by at least the incident
+// edge weight; greedy coloring uses at most Γ+1 = h_max·Δ+1 colors.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsched/internal/tm"
+)
+
+// DepGraph is the weighted conflict graph over a set of transactions
+// (possibly a subset of an instance's transactions, as the Grid and Cluster
+// algorithms schedule tile by tile).
+type DepGraph struct {
+	// IDs lists the member transactions; local index i refers to IDs[i].
+	IDs []tm.TxnID
+
+	index map[tm.TxnID]int
+	adj   []map[int]int64 // adj[i][j] = weight of edge {i, j}, both directions stored
+	hmax  int64
+	mdeg  int
+}
+
+// Build constructs H over the given transactions of in. A nil ids slice
+// means all transactions. Edge weights come from the instance's metric.
+func Build(in *tm.Instance, ids []tm.TxnID) *DepGraph {
+	if ids == nil {
+		ids = make([]tm.TxnID, in.NumTxns())
+		for i := range ids {
+			ids[i] = tm.TxnID(i)
+		}
+	}
+	h := &DepGraph{
+		IDs:   ids,
+		index: make(map[tm.TxnID]int, len(ids)),
+		adj:   make([]map[int]int64, len(ids)),
+	}
+	for i, id := range ids {
+		h.index[id] = i
+		h.adj[i] = make(map[int]int64)
+	}
+	// Conflicts: for each object, all pairs of member users conflict.
+	// Group member transactions by object first to avoid scanning
+	// non-member users.
+	byObject := make(map[tm.ObjectID][]int)
+	for i, id := range ids {
+		for _, o := range in.Txns[id].Objects {
+			byObject[o] = append(byObject[o], i)
+		}
+	}
+	for _, members := range byObject {
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				i, j := members[x], members[y]
+				if _, done := h.adj[i][j]; done {
+					continue
+				}
+				w := in.Dist(in.Txns[ids[i]].Node, in.Txns[ids[j]].Node)
+				h.adj[i][j] = w
+				h.adj[j][i] = w
+				if w > h.hmax {
+					h.hmax = w
+				}
+			}
+		}
+	}
+	for i := range h.adj {
+		if d := len(h.adj[i]); d > h.mdeg {
+			h.mdeg = d
+		}
+	}
+	return h
+}
+
+// Len returns the number of member transactions.
+func (h *DepGraph) Len() int { return len(h.IDs) }
+
+// HMax returns h_max, the maximum edge weight (0 when H has no edges).
+func (h *DepGraph) HMax() int64 { return h.hmax }
+
+// MaxDegree returns Δ, the maximum node degree.
+func (h *DepGraph) MaxDegree() int { return h.mdeg }
+
+// WeightedDegree returns Γ = h_max·Δ, the paper's weighted degree of H.
+func (h *DepGraph) WeightedDegree() int64 { return h.hmax * int64(h.mdeg) }
+
+// Weight returns the edge weight between members with local indices i and
+// j, or 0 if they do not conflict.
+func (h *DepGraph) Weight(i, j int) int64 { return h.adj[i][j] }
+
+// Degree returns the degree of local member i.
+func (h *DepGraph) Degree(i int) int { return len(h.adj[i]) }
+
+// GreedyColor colors H in the given local-index order (nil for natural
+// order) and returns one execution time per member, aligned with IDs.
+// Member u receives color k_u·h_max + 1 for the smallest k_u not used by
+// an already-colored neighbor; by the pigeonhole argument of Section 2.3,
+// k_u ≤ Δ, so every color is at most Γ+1. Distinct multiples of h_max
+// differ by at least h_max ≥ every edge weight, making the coloring valid.
+func (h *DepGraph) GreedyColor(order []int) []int64 {
+	n := len(h.IDs)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("depgraph: order has %d entries for %d members", len(order), n))
+	}
+	hmax := h.hmax
+	if hmax == 0 {
+		hmax = 1 // conflict-free: everyone runs at step 1
+	}
+	k := make([]int64, n)
+	for i := range k {
+		k[i] = -1
+	}
+	times := make([]int64, n)
+	var used []bool
+	for _, u := range order {
+		deg := len(h.adj[u])
+		if cap(used) < deg+1 {
+			used = make([]bool, deg+1)
+		}
+		used = used[:deg+1]
+		for i := range used {
+			used[i] = false
+		}
+		for v := range h.adj[u] {
+			if kv := k[v]; kv >= 0 && kv <= int64(deg) {
+				used[kv] = true
+			}
+		}
+		var ku int64
+		for int(ku) <= deg && used[ku] {
+			ku++
+		}
+		k[u] = ku
+		times[u] = ku*hmax + 1
+	}
+	return times
+}
+
+// CheckColoring verifies that times is a valid coloring of H: positive
+// times, with |t_i − t_j| ≥ weight(i, j) for every edge. It returns the
+// first violation found.
+func (h *DepGraph) CheckColoring(times []int64) error {
+	if len(times) != len(h.IDs) {
+		return fmt.Errorf("depgraph: %d times for %d members", len(times), len(h.IDs))
+	}
+	for i, t := range times {
+		if t < 1 {
+			return fmt.Errorf("depgraph: member %d has time %d < 1", i, t)
+		}
+		for j, w := range h.adj[i] {
+			if d := times[i] - times[j]; d < w && -d < w {
+				return fmt.Errorf("depgraph: members %d (t=%d) and %d (t=%d) violate weight %d",
+					i, times[i], j, times[j], w)
+			}
+		}
+	}
+	return nil
+}
+
+// OrderByNode returns local indices sorted by the member transactions'
+// node IDs — the deterministic default order used by the schedulers.
+func (h *DepGraph) OrderByNode(in *tm.Instance) []int {
+	order := make([]int, len(h.IDs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return in.Txns[h.IDs[order[a]]].Node < in.Txns[h.IDs[order[b]]].Node
+	})
+	return order
+}

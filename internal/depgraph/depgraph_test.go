@@ -1,0 +1,210 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+)
+
+// pathInstance: 5 nodes in a line; txn i at node i.
+// objects: 0 shared by txns {0,1,2}; 1 shared by {2,4}.
+func pathInstance() *tm.Instance {
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return tm.NewInstance(g, nil, 2, []tm.Txn{
+		{Node: 0, Objects: []tm.ObjectID{0}},
+		{Node: 1, Objects: []tm.ObjectID{0}},
+		{Node: 2, Objects: []tm.ObjectID{0, 1}},
+		{Node: 3, Objects: nil},
+		{Node: 4, Objects: []tm.ObjectID{1}},
+	}, []graph.NodeID{0, 4})
+}
+
+func TestBuildStructure(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, nil)
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	// Conflicts: {0,1},{0,2},{1,2} via obj0; {2,4} via obj1.
+	if h.Degree(2) != 3 {
+		t.Fatalf("Degree(txn2) = %d, want 3", h.Degree(2))
+	}
+	if h.Degree(3) != 0 {
+		t.Fatalf("Degree(txn3) = %d, want 0", h.Degree(3))
+	}
+	if w := h.Weight(0, 2); w != 2 {
+		t.Fatalf("Weight(0,2) = %d, want 2 (distance on the line)", w)
+	}
+	if w := h.Weight(0, 4); w != 0 {
+		t.Fatalf("Weight(0,4) = %d, want 0 (no conflict)", w)
+	}
+	if h.HMax() != 2 {
+		t.Fatalf("HMax = %d, want 2", h.HMax())
+	}
+	if h.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", h.MaxDegree())
+	}
+	if h.WeightedDegree() != 6 {
+		t.Fatalf("WeightedDegree = %d, want 6", h.WeightedDegree())
+	}
+}
+
+func TestBuildSubset(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, []tm.TxnID{0, 1, 4})
+	if h.Len() != 3 {
+		t.Fatalf("subset Len = %d", h.Len())
+	}
+	// Only the {0,1} conflict survives (txn2 excluded).
+	if h.MaxDegree() != 1 {
+		t.Fatalf("subset MaxDegree = %d, want 1", h.MaxDegree())
+	}
+	if h.HMax() != 1 {
+		t.Fatalf("subset HMax = %d, want 1", h.HMax())
+	}
+}
+
+func TestGreedyColorValidAndBounded(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, nil)
+	times := h.GreedyColor(nil)
+	if err := h.CheckColoring(times); err != nil {
+		t.Fatalf("greedy coloring invalid: %v", err)
+	}
+	limit := h.WeightedDegree() + 1
+	for i, tt := range times {
+		if tt > limit {
+			t.Fatalf("color %d of member %d exceeds Γ+1 = %d", tt, i, limit)
+		}
+	}
+}
+
+func TestGreedyColorConflictFree(t *testing.T) {
+	g := graph.New(3)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 2)
+	in := tm.NewInstance(g, nil, 3, []tm.Txn{
+		{Node: 0, Objects: []tm.ObjectID{0}},
+		{Node: 1, Objects: []tm.ObjectID{1}},
+		{Node: 2, Objects: []tm.ObjectID{2}},
+	}, []graph.NodeID{0, 1, 2})
+	h := Build(in, nil)
+	times := h.GreedyColor(nil)
+	for _, tt := range times {
+		if tt != 1 {
+			t.Fatalf("conflict-free instance should run entirely at step 1, got %v", times)
+		}
+	}
+}
+
+func TestCheckColoringRejects(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, nil)
+	bad := []int64{1, 1, 2, 1, 5} // txns 0 and 1 conflict at distance 1, same color
+	if err := h.CheckColoring(bad); err == nil {
+		t.Fatal("CheckColoring accepted a clash")
+	}
+	if err := h.CheckColoring([]int64{1, 2}); err == nil {
+		t.Fatal("CheckColoring accepted wrong length")
+	}
+	if err := h.CheckColoring([]int64{0, 2, 5, 1, 9}); err == nil {
+		t.Fatal("CheckColoring accepted non-positive time")
+	}
+}
+
+func TestGreedyColorPanicsOnBadOrder(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short order")
+		}
+	}()
+	h.GreedyColor([]int{0, 1})
+}
+
+func TestOrderByNode(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, []tm.TxnID{4, 0, 2})
+	order := h.OrderByNode(in)
+	// Members are [4 0 2]; node order 0,2,4 → local indices [1 2 0].
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("OrderByNode = %v, want %v", order, want)
+		}
+	}
+}
+
+func randomInstance(r *rand.Rand) *tm.Instance {
+	n := 3 + r.Intn(24)
+	w := 2 + r.Intn(8)
+	k := 1 + r.Intn(minInt(w, 4))
+	g := graph.New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[r.Intn(i)]), 1+r.Int63n(4))
+	}
+	return tm.UniformK(w, k).Generate(r, g, nil, g.Nodes(), tm.PlaceAtRandomUser)
+}
+
+// TestGreedyColoringValidProperty: on random instances and random coloring
+// orders, the greedy coloring is always valid and within Γ+1.
+func TestGreedyColoringValidProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r)
+		h := Build(in, nil)
+		order := r.Perm(h.Len())
+		times := h.GreedyColor(order)
+		if h.CheckColoring(times) != nil {
+			return false
+		}
+		limit := h.WeightedDegree() + 1
+		if limit < 1 {
+			limit = 1
+		}
+		for _, tt := range times {
+			if tt > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightsSymmetricProperty: edge weights stored in both directions.
+func TestWeightsSymmetricProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r)
+		h := Build(in, nil)
+		for i := 0; i < h.Len(); i++ {
+			for j := 0; j < h.Len(); j++ {
+				if h.Weight(i, j) != h.Weight(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

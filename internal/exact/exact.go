@@ -1,0 +1,220 @@
+// Package exact computes provably optimal schedules for small instances
+// by branch-and-bound, giving the experiments a ground truth that the
+// paper's proofs replace with lower bounds. It rests on a structural fact
+// of the data-flow model: every feasible schedule induces, per object, a
+// visiting order of its requesters; conversely, for any global priority
+// order of transactions, list scheduling produces the (unique) earliest
+// feasible schedule consistent with the induced per-object orders. The
+// optimal makespan is therefore the minimum of list scheduling over all
+// m! priority orders, which branch-and-bound explores with pruning.
+//
+// Intended for m ≤ about 10 transactions; Optimal returns an error above
+// the configured limit rather than silently taking forever.
+package exact
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// DefaultLimit is the largest transaction count Optimal accepts unless
+// overridden via Options.
+const DefaultLimit = 10
+
+// Options tunes the search.
+type Options struct {
+	// Limit overrides DefaultLimit (0 = default). Search cost grows
+	// factorially; 12 is already ~0.5B nodes before pruning.
+	Limit int
+	// InitialUpper seeds the incumbent with a known feasible makespan
+	// (e.g. a greedy schedule), tightening pruning. 0 = none.
+	InitialUpper int64
+}
+
+// Result is the optimal schedule with its makespan and search statistics.
+type Result struct {
+	Schedule *schedule.Schedule
+	Makespan int64
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes int64
+}
+
+type searcher struct {
+	in      *tm.Instance
+	best    int64
+	bestSeq []tm.TxnID
+	nodes   int64
+
+	// Incremental list-scheduling state along the current branch.
+	relT []int64
+	relN []graph.NodeID
+	used []bool
+	seq  []tm.TxnID
+
+	// remChain[o] counts unscheduled requesters of object o: each still
+	// needs ≥ 1 extra step on o's chain, a cheap admissible bound.
+	remChain []int
+}
+
+// Optimal computes a minimum-makespan schedule.
+func Optimal(in *tm.Instance, opt Options) (*Result, error) {
+	limit := opt.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	m := in.NumTxns()
+	if m > limit {
+		return nil, fmt.Errorf("exact: %d transactions exceed search limit %d", m, limit)
+	}
+	if m == 0 {
+		return &Result{Schedule: schedule.New(0)}, nil
+	}
+	s := &searcher{
+		in:       in,
+		best:     1 << 60,
+		relT:     make([]int64, in.NumObjects),
+		relN:     make([]graph.NodeID, in.NumObjects),
+		used:     make([]bool, m),
+		remChain: make([]int, in.NumObjects),
+	}
+	if opt.InitialUpper > 0 {
+		s.best = opt.InitialUpper + 1 // strict improvement not required: +1 keeps equal-cost solutions
+	}
+	copy(s.relN, in.Home)
+	for o := 0; o < in.NumObjects; o++ {
+		s.remChain[o] = len(in.Users(tm.ObjectID(o)))
+	}
+	s.search(0, 0)
+	if s.bestSeq == nil {
+		// InitialUpper was already optimal but we never recorded a
+		// sequence; rerun without the seed (m is tiny).
+		s.best = 1 << 60
+		s.search(0, 0)
+	}
+	// Rebuild the optimal schedule from the best sequence.
+	sched := schedule.New(m)
+	relT := make([]int64, in.NumObjects)
+	relN := make([]graph.NodeID, in.NumObjects)
+	copy(relN, in.Home)
+	for _, id := range s.bestSeq {
+		t := earliest(in, relT, relN, id)
+		sched.Times[id] = t
+		commit(in, relT, relN, id, t)
+	}
+	return &Result{Schedule: sched, Makespan: sched.Makespan(), Nodes: s.nodes}, nil
+}
+
+func earliest(in *tm.Instance, relT []int64, relN []graph.NodeID, id tm.TxnID) int64 {
+	txn := &in.Txns[id]
+	var t int64 = 1
+	for _, o := range txn.Objects {
+		if need := relT[o] + in.Dist(relN[o], txn.Node); need > t {
+			t = need
+		}
+	}
+	return t
+}
+
+func commit(in *tm.Instance, relT []int64, relN []graph.NodeID, id tm.TxnID, t int64) {
+	for _, o := range in.Txns[id].Objects {
+		if t > relT[o] {
+			relT[o] = t
+			relN[o] = in.Txns[id].Node
+		}
+	}
+}
+
+// search extends the current priority prefix; depth = txns placed,
+// curMax = makespan of the prefix.
+func (s *searcher) search(depth int, curMax int64) {
+	s.nodes++
+	lb := curMax
+	if fb := s.finishBound(); fb > lb {
+		lb = fb
+	}
+	if lb >= s.best {
+		return // even the admissible remainder cannot improve
+	}
+	m := s.in.NumTxns()
+	if depth == m {
+		s.best = curMax
+		s.bestSeq = append(s.bestSeq[:0], s.seq...)
+		return
+	}
+	for i := 0; i < m; i++ {
+		if s.used[i] {
+			continue
+		}
+		id := tm.TxnID(i)
+		t := earliest(s.in, s.relT, s.relN, id)
+		if t >= s.best {
+			continue
+		}
+		// Save and apply.
+		var savedT [8]int64
+		var savedN [8]graph.NodeID
+		objs := s.in.Txns[i].Objects
+		for j, o := range objs {
+			if j < len(savedT) {
+				savedT[j], savedN[j] = s.relT[o], s.relN[o]
+			}
+		}
+		bigSave := objs
+		var bigT []int64
+		var bigN []graph.NodeID
+		if len(objs) > len(savedT) {
+			bigT = make([]int64, len(objs))
+			bigN = make([]graph.NodeID, len(objs))
+			for j, o := range objs {
+				bigT[j], bigN[j] = s.relT[o], s.relN[o]
+			}
+		}
+		commit(s.in, s.relT, s.relN, id, t)
+		for _, o := range objs {
+			s.remChain[o]--
+		}
+		s.used[i] = true
+		s.seq = append(s.seq, id)
+
+		next := curMax
+		if t > next {
+			next = t
+		}
+		s.search(depth+1, next)
+
+		// Undo.
+		s.seq = s.seq[:len(s.seq)-1]
+		s.used[i] = false
+		for _, o := range objs {
+			s.remChain[o]++
+		}
+		if bigT != nil {
+			for j, o := range bigSave {
+				s.relT[o], s.relN[o] = bigT[j], bigN[j]
+			}
+		} else {
+			for j, o := range objs {
+				s.relT[o], s.relN[o] = savedT[j], savedN[j]
+			}
+		}
+	}
+}
+
+// finishBound gives an absolute lower bound on any completion's makespan
+// from the current state: object o's chain still needs remChain[o] more
+// commits at least one step apart, none earlier than its current release.
+func (s *searcher) finishBound() int64 {
+	var b int64
+	for o, rem := range s.remChain {
+		if rem == 0 {
+			continue
+		}
+		if t := s.relT[o] + int64(rem); t > b {
+			b = t
+		}
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/baseline"
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func smallInstance(r *rand.Rand, maxTxns int) *tm.Instance {
+	n := 2 + r.Intn(maxTxns-1)
+	w := 1 + r.Intn(4)
+	k := 1 + r.Intn(minInt(w, 2))
+	topo := topology.NewClique(n)
+	return tm.UniformK(w, k).Generate(r, topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+}
+
+// bruteForce enumerates every permutation and list-schedules each — the
+// independent oracle for Optimal.
+func bruteForce(in *tm.Instance) int64 {
+	m := in.NumTxns()
+	perm := make([]tm.TxnID, m)
+	for i := range perm {
+		perm[i] = tm.TxnID(i)
+	}
+	best := int64(1) << 60
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			relT := make([]int64, in.NumObjects)
+			relN := make([]graph.NodeID, in.NumObjects)
+			copy(relN, in.Home)
+			var mk int64
+			for _, id := range perm {
+				t := earliest(in, relT, relN, id)
+				commit(in, relT, relN, id, t)
+				if t > mk {
+					mk = t
+				}
+			}
+			if mk < best {
+				best = mk
+			}
+			return
+		}
+		for j := i; j < m; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestOptimalMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := smallInstance(r, 7)
+		res, err := Optimal(in, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Schedule.Validate(in) != nil {
+			return false
+		}
+		return res.Makespan == bruteForce(in)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalOnLineHandExample(t *testing.T) {
+	// Line 0-1-2; txns at 0,1,2 all share object 0 homed at node 1.
+	// Optimal: send it to an end first (node 0 at t=1), sweep back
+	// through the middle (t=2) to the far end (t=3): makespan 3.
+	topo := topology.NewLine(3)
+	in := tm.NewInstance(topo.Graph(), graph.FuncMetric(topo.Dist), 1, []tm.Txn{
+		{Node: 0, Objects: []tm.ObjectID{0}},
+		{Node: 1, Objects: []tm.ObjectID{0}},
+		{Node: 2, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{1})
+	res, err := Optimal(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 {
+		t.Fatalf("optimal makespan = %d, want 3", res.Makespan)
+	}
+}
+
+func TestLowerBoundSoundAgainstTrueOptimum(t *testing.T) {
+	// The certified lower bound must never exceed the true optimum: the
+	// strongest possible soundness check for package lower.
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := smallInstance(r, 8)
+		res, err := Optimal(in, Options{})
+		if err != nil {
+			return false
+		}
+		return lower.Compute(in).Value <= res.Makespan
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyWithinTheoremFactorOfTrueOptimum(t *testing.T) {
+	// Theorem 1 (clique, k ≤ 2): greedy ≤ O(k)·OPT. Verify against the
+	// true optimum with a generous constant.
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		in := smallInstance(r, 8)
+		opt, err := Optimal(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := (&core.Greedy{}).Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := int64(in.MaxK())
+		if gr.Makespan > 4*k*opt.Makespan+2 {
+			t.Fatalf("seed %d: greedy %d vs optimal %d exceeds 4k factor (k=%d)", seed, gr.Makespan, opt.Makespan, k)
+		}
+	}
+}
+
+func TestInitialUpperPrunes(t *testing.T) {
+	r := xrand.New(11)
+	in := smallInstance(r, 9)
+	gr, err := baseline.List{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseeded, err := Optimal(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Optimal(in, Options{InitialUpper: gr.Makespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Makespan != unseeded.Makespan {
+		t.Fatalf("seeded optimum %d != unseeded %d", seeded.Makespan, unseeded.Makespan)
+	}
+	if seeded.Nodes > unseeded.Nodes {
+		t.Fatalf("seeding increased search: %d > %d nodes", seeded.Nodes, unseeded.Nodes)
+	}
+}
+
+func TestOptimalLimit(t *testing.T) {
+	r := xrand.New(12)
+	topo := topology.NewClique(16)
+	in := tm.UniformK(4, 1).Generate(r, topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	if _, err := Optimal(in, Options{}); err == nil {
+		t.Fatal("16 transactions accepted at default limit 10")
+	}
+	if _, err := Optimal(in, Options{Limit: 16}); err != nil {
+		t.Fatalf("explicit limit rejected: %v", err)
+	}
+}
+
+func TestOptimalEmpty(t *testing.T) {
+	g := graph.New(1)
+	in := tm.NewInstance(g, nil, 0, nil, nil)
+	res, err := Optimal(in, Options{})
+	if err != nil || res.Makespan != 0 {
+		t.Fatalf("empty instance: %v %v", res, err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtmsched/internal/baseline"
+	"dtmsched/internal/core"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E10", Title: "Ablation: paper schedulers vs naive baselines on every topology", Ref: "all upper-bound sections", Run: runE10})
+	register(Experiment{ID: "E11", Title: "Ablation: grid tile-size sensitivity around the paper's √ξ", Ref: "Section 5", Run: runE11})
+}
+
+// runE10 runs, on every topology family, the paper's scheduler against the
+// global-lock, FIFO list, and random-order baselines. The paper's
+// schedules carry worst-case guarantees, while list scheduling is a strong
+// average-case heuristic with no bound — so the honest checks are: the
+// paper scheduler beats full serialization on the diameter-dominated
+// topologies (clique, hypercube, butterfly, line), and stays within a
+// small constant of the best heuristic everywhere. Note that ID-order
+// serialization on cluster/star graphs accidentally enjoys perfect
+// locality (it sweeps cluster by cluster), which is why it looks strong
+// there; the random-priority serialization column is the realistic
+// contention-manager comparison.
+func runE10(cfg Config) (*Result, error) {
+	k, trials := 2, cfg.Trials
+	res := &Result{ID: "E10", Title: "Ablation: paper schedulers vs naive baselines on every topology", Ref: "all upper-bound sections",
+		Table: stats.NewTable("topology", "n", "paperAlg", "r(paper)", "r(seq)", "r(list)", "r(rand)", "winner")}
+	beatSeqFlat := true // on diameter-dominated topologies
+	withinBest := true  // ≤ 4× the best baseline everywhere
+
+	type setup struct {
+		name  string
+		build func(trial int) (*tm.Instance, core.Scheduler)
+	}
+	size := 0
+	setups := []setup{
+		{"clique", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewClique(128)
+			size = 128
+			in := tm.UniformK(32, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "clique", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Greedy{}
+		}},
+		{"hypercube", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewHypercube(7)
+			size = 128
+			in := tm.UniformK(32, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "hcube", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Greedy{}
+		}},
+		{"butterfly", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewButterfly(4)
+			size = topo.Graph().NumNodes()
+			in := tm.UniformK(20, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "bfly", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Greedy{}
+		}},
+		{"line", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewLine(256)
+			size = 256
+			in := tm.NeighborhoodK(128, k, 256, 16).Generate(xrand.NewDerived(cfg.Seed, "E10", "line", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Line{Topo: topo}
+		}},
+		{"grid", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewSquareGrid(16)
+			size = 256
+			in := tm.UniformK(64, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "grid", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Grid{Topo: topo}
+		}},
+		{"cluster", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewCluster(8, 16, 32)
+			size = 128
+			in := tm.UniformK(32, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "cluster", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Cluster{Topo: topo, Rng: xrand.NewDerived(cfg.Seed, "E10rng", "cluster", fmt.Sprint(trial))}
+		}},
+		{"star", func(trial int) (*tm.Instance, core.Scheduler) {
+			topo := topology.NewStar(8, 16)
+			size = topo.Graph().NumNodes()
+			in := tm.UniformK(32, k).Generate(xrand.NewDerived(cfg.Seed, "E10", "star", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, &core.Star{Topo: topo, Rng: xrand.NewDerived(cfg.Seed, "E10rng", "star", fmt.Sprint(trial))}
+		}},
+	}
+	if cfg.Quick {
+		setups = setups[:3]
+	}
+	for _, su := range setups {
+		var paper, seq, list, rnd []cell
+		var algName string
+		for trial := 0; trial < trials; trial++ {
+			in, sched := su.build(trial)
+			algName = sched.Name()
+			cp, err := runCell(in, sched)
+			if err != nil {
+				return nil, fmt.Errorf("E10 %s: %w", su.name, err)
+			}
+			cs, err := runCell(in, baseline.Sequential{})
+			if err != nil {
+				return nil, err
+			}
+			cl, err := runCell(in, baseline.List{})
+			if err != nil {
+				return nil, err
+			}
+			cr, err := runCell(in, baseline.Random{Rng: xrand.NewDerived(cfg.Seed, "E10base", su.name, fmt.Sprint(trial))})
+			if err != nil {
+				return nil, err
+			}
+			switch su.name {
+			case "clique", "hypercube", "butterfly", "line":
+				if cp.Makespan > cs.Makespan {
+					beatSeqFlat = false
+				}
+			}
+			best := cs.Makespan
+			if cl.Makespan < best {
+				best = cl.Makespan
+			}
+			if cr.Makespan < best {
+				best = cr.Makespan
+			}
+			if cp.Makespan > 4*best {
+				withinBest = false
+			}
+			paper, seq, list, rnd = append(paper, cp), append(seq, cs), append(list, cl), append(rnd, cr)
+		}
+		rp, rs, rl, rr := meanRatio(paper), meanRatio(seq), meanRatio(list), meanRatio(rnd)
+		winner := "paper"
+		bestR := rp
+		for _, c := range []struct {
+			name string
+			r    float64
+		}{{"seq", rs}, {"list", rl}, {"rand", rr}} {
+			if c.r < bestR {
+				winner, bestR = c.name, c.r
+			}
+		}
+		res.Table.AddRowf(su.name, size, algName, rp, rs, rl, rr, winner)
+	}
+	res.Checks = append(res.Checks,
+		checkf("paper scheduler beats the global lock on clique/hypercube/butterfly/line", beatSeqFlat,
+			"on diameter-dominated topologies the structured schedules never lose to full serialization"),
+		checkf("paper scheduler within 4× of the best baseline everywhere", withinBest,
+			"worst-case-bounded schedules stay competitive with unbounded average-case heuristics"))
+	res.Notes = append(res.Notes,
+		"ID-order sequential execution sweeps cluster/star graphs with perfect locality, an artifact of node numbering; the random-priority column models a realistic contention manager.")
+	return res, nil
+}
+
+// runE11 probes Theorem 3's tile-size choice: forcing tiles much smaller
+// or larger than √ξ should not beat the paper's choice by more than a
+// small factor, showing √ξ sits near the sweet spot.
+func runE11(cfg Config) (*Result, error) {
+	side := 32
+	k := 2
+	if cfg.Quick {
+		side = 16
+	}
+	w := 4 * side
+	res := &Result{ID: "E11", Title: "Ablation: grid tile-size sensitivity around the paper's √ξ", Ref: "Section 5",
+		Table: stats.NewTable("tile", "relToPaper", "makespan", "lb", "ratio")}
+	topoProbe := topology.NewSquareGrid(side)
+	paperSide := (&core.Grid{Topo: topoProbe}).Side(
+		tm.UniformK(w, k).Generate(xrand.NewDerived(cfg.Seed, "E11probe"), topoProbe.Graph(), metric(topoProbe), topoProbe.Graph().Nodes(), tm.PlaceAtRandomUser))
+	tiles := []int{maxOf2(paperSide/4, 1), maxOf2(paperSide/2, 1), paperSide, minOf2(paperSide*2, side), side}
+	var paperRatio, bestRatio float64
+	seen := map[int]bool{}
+	for _, tile := range tiles {
+		if seen[tile] {
+			continue
+		}
+		seen[tile] = true
+		var cells []cell
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := xrand.NewDerived(cfg.Seed, "E11", fmt.Sprint(tile), fmt.Sprint(trial))
+			topo := topology.NewSquareGrid(side)
+			in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			c, err := runCell(in, &core.Grid{Topo: topo, SideOverride: tile})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+		ratio := meanRatio(cells)
+		rel := fmt.Sprintf("%.2fx", float64(tile)/float64(paperSide))
+		if tile == paperSide {
+			paperRatio = ratio
+			rel = "paper"
+		}
+		if bestRatio == 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+		res.Table.AddRowf(tile, rel, meanMakespan(cells), meanBound(cells), ratio)
+	}
+	res.Checks = append(res.Checks,
+		checkf("paper tile within 2x of the best probed tile", paperRatio <= 2*bestRatio,
+			"paper √ξ tile ratio %.2f vs best probed %.2f", paperRatio, bestRatio))
+	res.Notes = append(res.Notes, fmt.Sprintf("paper tile side √ξ = %d on a %d×%d grid (w=%d, k=%d)", paperSide, side, side, w, k))
+	return res, nil
+}

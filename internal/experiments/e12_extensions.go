@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtmsched/internal/congestion"
+	"dtmsched/internal/core"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/online"
+	"dtmsched/internal/replica"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E12", Title: "Extension: online scheduling (open question 1)", Ref: "Section 9, open question 1", Run: runE12})
+	register(Experiment{ID: "E13", Title: "Extension: bounded link capacity (open question 2)", Ref: "Section 9, open question 2", Run: runE13})
+	register(Experiment{ID: "E14", Title: "Extension: read-only replication / multi-versioning", Ref: "Section 1.2 related work", Run: runE14})
+}
+
+// runE12 compares the online contention-management policies (FIFO,
+// nearest, random) against the offline greedy schedule on batch arrivals,
+// and reports response times under Poisson arrivals. Checks: the online
+// executor never beats the certified offline lower bound, and the
+// distance-aware nearest policy never moves objects farther than FIFO in
+// total.
+func runE12(cfg Config) (*Result, error) {
+	type setup struct {
+		name string
+		mk   func(seed int64) *tm.Instance
+	}
+	setups := []setup{
+		{"clique-64", func(seed int64) *tm.Instance {
+			topo := topology.NewClique(64)
+			return tm.UniformK(16, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+		{"grid-12", func(seed int64) *tm.Instance {
+			topo := topology.NewSquareGrid(12)
+			return tm.UniformK(36, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+		{"cluster-4x8", func(seed int64) *tm.Instance {
+			topo := topology.NewCluster(4, 8, 16)
+			return tm.UniformK(8, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+	}
+	if cfg.Quick {
+		setups = setups[:1]
+	}
+	res := &Result{ID: "E12", Title: "Extension: online scheduling (open question 1)", Ref: "Section 9, open question 1",
+		Table: stats.NewTable("instance", "offline", "lb", "fifo", "nearest", "random", "near/off", "meanResp(poisson)")}
+	soundLB := true
+	var nearCommTotal, fifoCommTotal float64
+	for _, su := range setups {
+		var off, fifo, near, rnd, lbv, resp float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + int64(trial)
+			in := su.mk(seed)
+			lb := lower.Compute(in)
+			offRes, err := (&core.Greedy{}).Schedule(in)
+			if err != nil {
+				return nil, err
+			}
+			batch := online.BatchArrivals(in)
+			rf, err := online.Run(in, batch, online.FIFO{})
+			if err != nil {
+				return nil, err
+			}
+			rn, err := online.Run(in, batch, online.Nearest{})
+			if err != nil {
+				return nil, err
+			}
+			rr, err := online.Run(in, batch, online.Random{Rng: xrand.NewDerived(cfg.Seed, "E12", su.name, fmt.Sprint(trial))})
+			if err != nil {
+				return nil, err
+			}
+			if rf.Makespan < lb.Value || rn.Makespan < lb.Value || rr.Makespan < lb.Value {
+				soundLB = false
+			}
+			nearCommTotal += float64(rn.CommCost)
+			fifoCommTotal += float64(rf.CommCost)
+			// Open-system response time under Poisson arrivals.
+			pois := online.PoissonArrivals(xrand.NewDerived(cfg.Seed, "E12p", su.name, fmt.Sprint(trial)), in, 0.5)
+			rp, err := online.Run(in, pois, online.FIFO{})
+			if err != nil {
+				return nil, err
+			}
+			off += float64(offRes.Makespan)
+			lbv += float64(lb.Value)
+			fifo += float64(rf.Makespan)
+			near += float64(rn.Makespan)
+			rnd += float64(rr.Makespan)
+			resp += rp.MeanResponse
+		}
+		tr := float64(cfg.Trials)
+		res.Table.AddRowf(su.name, off/tr, lbv/tr, fifo/tr, near/tr, rnd/tr, (near/tr)/(off/tr), resp/tr)
+	}
+	res.Checks = append(res.Checks,
+		checkf("online makespans never beat the certified offline lower bound", soundLB, "lower bounds hold for online executions too"),
+		checkf("nearest policy moves objects less than FIFO in aggregate", nearCommTotal <= fifoCommTotal,
+			"total object travel: nearest %.0f vs FIFO %.0f (per-instance inversions are possible: nearest is myopic)", nearCommTotal, fifoCommTotal))
+	res.Notes = append(res.Notes,
+		"the online executor uses ordered acquisition (deadlock-free, abort-free); policies differ only in which waiting transaction a freed object serves next")
+	return res, nil
+}
+
+// runE13 replays offline schedules under per-edge capacities on the two
+// most congestion-prone topologies (star: all traffic crosses the center;
+// grid: mesh links). Checks: dilation ≥ 1 everywhere and monotone
+// non-increasing in capacity; unlimited capacity reproduces the base
+// model (dilation exactly 1).
+func runE13(cfg Config) (*Result, error) {
+	caps := []int{1, 2, 4, 1 << 20}
+	type setup struct {
+		name string
+		mk   func(seed int64) (*tm.Instance, *core.Result, error)
+	}
+	setups := []setup{
+		{"star-8x8", func(seed int64) (*tm.Instance, *core.Result, error) {
+			topo := topology.NewStar(8, 8)
+			in := tm.UniformK(16, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			r, err := (&core.Star{Topo: topo, Rng: xrand.New(seed + 1)}).Schedule(in)
+			return in, r, err
+		}},
+		{"grid-12", func(seed int64) (*tm.Instance, *core.Result, error) {
+			topo := topology.NewSquareGrid(12)
+			in := tm.UniformK(36, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			r, err := (&core.Grid{Topo: topo}).Schedule(in)
+			return in, r, err
+		}},
+	}
+	if cfg.Quick {
+		setups = setups[:1]
+	}
+	res := &Result{ID: "E13", Title: "Extension: bounded link capacity (open question 2)", Ref: "Section 9, open question 2",
+		Table: stats.NewTable("instance", "capacity", "makespan", "ideal", "dilation", "maxQueue", "waits")}
+	monotone, unitAtInf := true, true
+	for _, su := range setups {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			in, sched, err := su.mk(cfg.Seed + int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			prev := int64(-1)
+			for _, c := range caps {
+				r, err := congestion.Replay(in, sched.Schedule, c)
+				if err != nil {
+					return nil, err
+				}
+				if r.Dilation < 1.0-1e-9 {
+					monotone = false
+				}
+				if prev >= 0 && r.Makespan > prev {
+					monotone = false
+				}
+				prev = r.Makespan
+				if c == 1<<20 && r.Dilation != 1.0 {
+					unitAtInf = false
+				}
+				if trial == 0 {
+					capLabel := fmt.Sprint(c)
+					if c == 1<<20 {
+						capLabel = "inf"
+					}
+					res.Table.AddRowf(su.name, capLabel, r.Makespan, r.IdealMakespan, r.Dilation, r.MaxQueue, r.Waits)
+				}
+			}
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkf("dilation ≥ 1 and non-increasing in capacity", monotone, "congestion only slows schedules, and more capacity never hurts"),
+		checkf("unlimited capacity reproduces the base model", unitAtInf, "dilation is exactly 1 at capacity ∞"))
+	return res, nil
+}
+
+// runE14 sweeps the read fraction of a clique workload under the
+// multi-version scheduler. Checks: all-writes matches the base model's
+// feasibility, makespan falls as the read share rises, and all-reads
+// collapses to copy-distribution time.
+func runE14(cfg Config) (*Result, error) {
+	n, w, k := 64, 16, 2
+	if cfg.Quick {
+		n = 32
+	}
+	fracs := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
+	res := &Result{ID: "E14", Title: "Extension: read-only replication / multi-versioning", Ref: "Section 1.2 related work",
+		Table: stats.NewTable("readFrac", "writeAccesses", "conflicts", "makespan", "vs allWrites")}
+	var first float64
+	monotoneExtremes := true
+	var lastMakespan float64
+	for _, frac := range fracs {
+		var mk, conf, wc float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			topo := topology.NewClique(n)
+			in := tm.UniformK(w, k).Generate(xrand.NewDerived(cfg.Seed, "E14", fmt.Sprint(trial)), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			rw := replica.WithReadFraction(xrand.NewDerived(cfg.Seed, "E14rw", fmt.Sprint(frac), fmt.Sprint(trial)), in, frac)
+			r, err := replica.Schedule(rw)
+			if err != nil {
+				return nil, err
+			}
+			mk += float64(r.Makespan)
+			conf += float64(r.Conflicts)
+			wc += float64(rw.WriteCount())
+		}
+		tr := float64(cfg.Trials)
+		mk, conf, wc = mk/tr, conf/tr, wc/tr
+		if frac == 0 {
+			first = mk
+		}
+		lastMakespan = mk
+		rel := 1.0
+		if first > 0 {
+			rel = mk / first
+		}
+		res.Table.AddRowf(fmt.Sprintf("%.2f", frac), wc, conf, mk, rel)
+	}
+	if lastMakespan > first {
+		monotoneExtremes = false
+	}
+	res.Checks = append(res.Checks,
+		checkf("all-reads never slower than all-writes", monotoneExtremes, "replication removes conflicts"),
+		checkf("all-reads runs in copy-distribution time", lastMakespan <= 2.0, "readFrac=1 makespan %.1f ≤ 2 on a clique", lastMakespan))
+	res.Notes = append(res.Notes,
+		"multi-version semantics: writers chain on the master copy; readers receive a copy of the latest preceding version and never conflict with each other")
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/exact"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E15", Title: "Ground truth: greedy vs exact optimum on small instances", Ref: "Theorem 1 + Section 9 open question 3", Run: runE15})
+	register(Experiment{ID: "E16", Title: "Ablation: greedy coloring order (node vs Welsh-Powell vs random)", Ref: "Section 2.3", Run: runE16})
+}
+
+// runE15 measures *true* approximation ratios by branch-and-bound on
+// instances small enough to solve exactly — the ground truth the paper's
+// certified-lower-bound ratios can only approximate. It also probes the
+// paper's third open question (is Ω(k) tight on the clique?) empirically:
+// the worst observed greedy/OPT ratio per k is reported.
+func runE15(cfg Config) (*Result, error) {
+	trials := 20
+	if cfg.Quick {
+		trials = 6
+	}
+	res := &Result{ID: "E15", Title: "Ground truth: greedy vs exact optimum on small instances", Ref: "Theorem 1 + Section 9 open question 3",
+		Table: stats.NewTable("topo", "m", "w", "k", "meanOPT", "mean greedy/OPT", "worst greedy/OPT", "lb/OPT")}
+	lbSound := true
+	worstOverall := 0.0
+	type cfgRow struct {
+		name    string
+		m, w, k int
+	}
+	sizes := []cfgRow{
+		{"clique", 8, 4, 1},
+		{"clique", 8, 4, 2},
+		{"line", 8, 4, 2},
+		{"grid3x3", 9, 4, 2},
+	}
+	for _, row := range sizes {
+		var sumOpt, sumRatio, worst, lbShare float64
+		count := 0
+		for trial := 0; trial < trials; trial++ {
+			rng := xrand.NewDerived(cfg.Seed, "E15", row.name, fmt.Sprint(row.k), fmt.Sprint(trial))
+			var in *tm.Instance
+			switch row.name {
+			case "clique":
+				topo := topology.NewClique(row.m)
+				in = tm.UniformK(row.w, row.k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			case "line":
+				topo := topology.NewLine(row.m)
+				in = tm.UniformK(row.w, row.k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			default:
+				topo := topology.NewSquareGrid(3)
+				in = tm.UniformK(row.w, row.k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			}
+			opt, err := exact.Optimal(in, exact.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gr, err := (&core.Greedy{}).Schedule(in)
+			if err != nil {
+				return nil, err
+			}
+			lb := lower.Compute(in)
+			if lb.Value > opt.Makespan {
+				lbSound = false
+			}
+			ratio := float64(gr.Makespan) / float64(opt.Makespan)
+			sumOpt += float64(opt.Makespan)
+			sumRatio += ratio
+			lbShare += float64(lb.Value) / float64(opt.Makespan)
+			if ratio > worst {
+				worst = ratio
+			}
+			count++
+		}
+		if worst > worstOverall {
+			worstOverall = worst
+		}
+		res.Table.AddRowf(row.name, row.m, row.w, row.k,
+			sumOpt/float64(count), sumRatio/float64(count), worst, lbShare/float64(count))
+	}
+	res.Checks = append(res.Checks,
+		checkf("certified lower bound ≤ true optimum on every instance", lbSound, "the bound machinery is sound against ground truth"),
+		checkf("greedy within 4k of the true optimum", worstOverall <= 8.0, "worst observed greedy/OPT = %.2f (k ≤ 2)", worstOverall))
+	res.Notes = append(res.Notes,
+		"open question 3 asks whether Ω(k) is tight for the clique; the worst-ratio column gives the empirical distribution exact search can reach at these sizes")
+	return res, nil
+}
+
+// runE16 compares the three coloring orders across topologies. The Γ+1
+// bound holds for all; the table shows the constant each order pays.
+func runE16(cfg Config) (*Result, error) {
+	res := &Result{ID: "E16", Title: "Ablation: greedy coloring order (node vs Welsh-Powell vs random)", Ref: "Section 2.3",
+		Table: stats.NewTable("topo", "r(node)", "r(degree)", "r(random)", "winner")}
+	type setup struct {
+		name string
+		mk   func(seed int64) *tm.Instance
+	}
+	setups := []setup{
+		{"clique-128", func(seed int64) *tm.Instance {
+			topo := topology.NewClique(128)
+			return tm.ZipfK(32, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+		{"hypercube-7", func(seed int64) *tm.Instance {
+			topo := topology.NewHypercube(7)
+			return tm.ZipfK(32, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+		{"multigrid-4x4x4", func(seed int64) *tm.Instance {
+			topo := topology.NewMultiGrid(4, 4, 4)
+			return tm.ZipfK(16, 2).Generate(xrand.New(seed), topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		}},
+	}
+	if cfg.Quick {
+		setups = setups[:2]
+	}
+	ok := true
+	for _, su := range setups {
+		var rn, rd, rr float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			in := su.mk(cfg.Seed + int64(trial))
+			run := func(g *core.Greedy) (float64, error) {
+				r, err := runCell(in, g)
+				if err != nil {
+					return 0, err
+				}
+				return r.Ratio(), nil
+			}
+			a, err := run(&core.Greedy{Order: core.OrderNode})
+			if err != nil {
+				return nil, err
+			}
+			b, err := run(&core.Greedy{Order: core.OrderDegree})
+			if err != nil {
+				return nil, err
+			}
+			c, err := run(&core.Greedy{Order: core.OrderRandom, Rng: xrand.NewDerived(cfg.Seed, "E16", su.name, fmt.Sprint(trial))})
+			if err != nil {
+				return nil, err
+			}
+			rn, rd, rr = rn+a, rd+b, rr+c
+		}
+		tr := float64(cfg.Trials)
+		rn, rd, rr = rn/tr, rd/tr, rr/tr
+		winner := "node"
+		best := rn
+		if rd < best {
+			winner, best = "degree", rd
+		}
+		if rr < best {
+			winner = "random"
+		}
+		// All orders share the Γ+1 guarantee; flag only pathological
+		// spreads (>3x between best and worst).
+		worst := rn
+		if rd > worst {
+			worst = rd
+		}
+		if rr > worst {
+			worst = rr
+		}
+		if best > 0 && worst/best > 3 {
+			ok = false
+		}
+		res.Table.AddRowf(su.name, rn, rd, rr, winner)
+	}
+	res.Checks = append(res.Checks,
+		checkf("coloring orders stay within 3x of each other", ok, "the order affects constants only, as Section 2.3 predicts"))
+	return res, nil
+}

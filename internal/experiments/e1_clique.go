@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E1", Title: "Clique: greedy is O(k)-approximate", Ref: "Theorem 1", Run: runE1})
+	register(Experiment{ID: "E2", Title: "Hypercube: greedy is O(k·log n)-approximate", Ref: "Section 3.1", Run: runE2})
+	register(Experiment{ID: "E3", Title: "Butterfly: greedy is O(k·log n)-approximate", Ref: "Section 3.1", Run: runE3})
+}
+
+// runE1 sweeps clique size and per-transaction object count, measuring the
+// greedy schedule's makespan against the instance lower bound. Theorem 1
+// proves a ratio of O(k); the check requires ratio ≤ 4k across the sweep
+// and that ratio/k stays flat as n grows.
+func runE1(cfg Config) (*Result, error) {
+	ns := []int{64, 128, 256, 512}
+	ks := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		ns = []int{64, 128}
+		ks = []int{2, 4}
+	}
+	res := &Result{ID: "E1", Title: "Clique: greedy is O(k)-approximate", Ref: "Theorem 1",
+		Table: stats.NewTable("n", "w", "k", "makespan", "lb", "ratio", "ratio/k")}
+	worstNorm := 0.0
+	for _, n := range ns {
+		for _, k := range ks {
+			w := n / 4
+			if k > w {
+				continue
+			}
+			var cells []cell
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := xrand.NewDerived(cfg.Seed, "E1", fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(trial))
+				topo := topology.NewClique(n)
+				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+				c, err := runCell(in, &core.Greedy{})
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
+			ratio := meanRatio(cells)
+			norm := ratio / float64(k)
+			if norm > worstNorm {
+				worstNorm = norm
+			}
+			res.Table.AddRowf(n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkf("ratio ≤ 4k everywhere", worstNorm <= 4.0, "worst ratio/k = %.2f (Theorem 1 allows O(k); constant ≤ 4 expected)", worstNorm))
+	return res, nil
+}
+
+// runE2 repeats E1 on hypercubes, normalizing by k·log₂ n per Section 3.1.
+func runE2(cfg Config) (*Result, error) {
+	dims := []int{6, 8, 10}
+	ks := []int{1, 2, 4}
+	if cfg.Quick {
+		dims = []int{6, 7}
+		ks = []int{2}
+	}
+	res := &Result{ID: "E2", Title: "Hypercube: greedy is O(k·log n)-approximate", Ref: "Section 3.1",
+		Table: stats.NewTable("dim", "n", "w", "k", "makespan", "lb", "ratio", "ratio/(k·log n)")}
+	worstNorm := 0.0
+	for _, d := range dims {
+		n := 1 << d
+		for _, k := range ks {
+			w := n / 4
+			var cells []cell
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := xrand.NewDerived(cfg.Seed, "E2", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
+				topo := topology.NewHypercube(d)
+				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+				c, err := runCell(in, &core.Greedy{})
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
+			ratio := meanRatio(cells)
+			norm := ratio / (float64(k) * float64(d))
+			if norm > worstNorm {
+				worstNorm = norm
+			}
+			res.Table.AddRowf(d, n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkf("ratio ≤ 4·k·log n everywhere", worstNorm <= 4.0, "worst ratio/(k·log n) = %.2f", worstNorm))
+	return res, nil
+}
+
+// runE3 repeats E2 on butterflies, whose diameter is 2·dim.
+func runE3(cfg Config) (*Result, error) {
+	dims := []int{3, 4, 5, 6}
+	ks := []int{1, 2, 4}
+	if cfg.Quick {
+		dims = []int{3, 4}
+		ks = []int{2}
+	}
+	res := &Result{ID: "E3", Title: "Butterfly: greedy is O(k·log n)-approximate", Ref: "Section 3.1",
+		Table: stats.NewTable("dim", "n", "w", "k", "makespan", "lb", "ratio", "ratio/(k·diam)")}
+	worstNorm := 0.0
+	for _, d := range dims {
+		topoProbe := topology.NewButterfly(d)
+		n := topoProbe.Graph().NumNodes()
+		diam := float64(topoProbe.Diameter())
+		for _, k := range ks {
+			w := maxOf2(n/4, k)
+			var cells []cell
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := xrand.NewDerived(cfg.Seed, "E3", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
+				topo := topology.NewButterfly(d)
+				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+				c, err := runCell(in, &core.Greedy{})
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
+			ratio := meanRatio(cells)
+			norm := ratio / (float64(k) * diam)
+			if norm > worstNorm {
+				worstNorm = norm
+			}
+			res.Table.AddRowf(d, n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkf("ratio ≤ 4·k·diam everywhere", worstNorm <= 4.0, "worst ratio/(k·diam) = %.2f", worstNorm))
+	res.Notes = append(res.Notes, fmt.Sprintf("butterfly diameter is 2·dim = Θ(log n); largest sweep diameter %.0f", math.Max(float64(2*dims[len(dims)-1]), 0)))
+	return res, nil
+}

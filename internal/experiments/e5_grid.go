@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E5", Title: "Grid: subgrid schedule is O(k·log m)-approximate w.h.p.", Ref: "Theorem 3, Lemma 4", Run: runE5})
+}
+
+// runE5 sweeps grid side, object count, and k on the uniform-random
+// workload Theorem 3 assumes. The measured ratio is normalized by k·ln m
+// (m = max(side, w)); the check requires the normalized ratio to stay
+// bounded across the sweep, and a shape fit confirms the ratio does not
+// grow polynomially with the side length.
+func runE5(cfg Config) (*Result, error) {
+	sides := []int{16, 32, 48}
+	ks := []int{2, 4, 8}
+	if cfg.Quick {
+		sides = []int{16}
+		ks = []int{2, 4}
+	}
+	res := &Result{ID: "E5", Title: "Grid: subgrid schedule is O(k·log m)-approximate w.h.p.", Ref: "Theorem 3, Lemma 4",
+		Table: stats.NewTable("side", "n", "w", "k", "tile", "makespan", "lb", "ratio", "ratio/(k·ln m)")}
+	worstNorm := 0.0
+	var xs, ys []float64 // log side vs log ratio, for the growth-shape fit at fixed k=2
+	for _, side := range sides {
+		for _, k := range ks {
+			w := 4 * side
+			m := maxOf2(side, w)
+			var cells []cell
+			var tile int64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := xrand.NewDerived(cfg.Seed, "E5", fmt.Sprint(side), fmt.Sprint(k), fmt.Sprint(trial))
+				topo := topology.NewSquareGrid(side)
+				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+				c, err := runCell(in, &core.Grid{Topo: topo})
+				if err != nil {
+					return nil, err
+				}
+				tile = c.Stats["side"]
+				cells = append(cells, c)
+			}
+			ratio := meanRatio(cells)
+			norm := ratio / (float64(k) * math.Log(float64(m)))
+			if norm > worstNorm {
+				worstNorm = norm
+			}
+			if k == 2 {
+				xs = append(xs, math.Log(float64(side)))
+				ys = append(ys, math.Log(ratio))
+			}
+			res.Table.AddRowf(side, side*side, w, k, tile, meanMakespan(cells), meanBound(cells), ratio, norm)
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkf("ratio ≤ 8·k·ln m everywhere", worstNorm <= 8.0, "worst ratio/(k·ln m) = %.2f", worstNorm))
+	if len(xs) >= 2 {
+		_, slope, r2 := stats.LinFit(xs, ys)
+		res.Checks = append(res.Checks,
+			checkf("ratio grows sub-polynomially in side (k=2)", slope < 0.75,
+				"log-log slope %.2f (r²=%.2f); a polynomial-in-n ratio would show slope ≥ 1", slope, r2))
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func init() {
+	register(Experiment{ID: "E7", Title: "Star: segment/period schedule realizes Theorem 5", Ref: "Theorem 5", Run: runE7})
+}
+
+// runE7 sweeps ray counts and lengths. Theorem 5 proves an approximation
+// of O(log β · min(kβ, c^k·ln^k m)); the check normalizes the measured
+// ratio by k·β·log₂β (the theorem's first branch) and requires it bounded,
+// plus both per-period approaches are compared like E6.
+func runE7(cfg Config) (*Result, error) {
+	type sweep struct{ alpha, beta, k int }
+	sweeps := []sweep{
+		{4, 8, 1}, {4, 8, 2}, {8, 8, 2}, {8, 16, 1}, {8, 16, 2}, {4, 32, 2}, {16, 16, 2},
+	}
+	if cfg.Quick {
+		sweeps = []sweep{{4, 8, 2}, {8, 16, 2}}
+	}
+	res := &Result{ID: "E7", Title: "Star: segment/period schedule realizes Theorem 5", Ref: "Theorem 5",
+		Table: stats.NewTable("alpha", "beta", "k", "n", "r(A1)", "r(A2)", "r(auto)", "winner", "ratio/(k·b·logb)")}
+	worstNorm := 0.0
+	autoOK := true
+	for _, sw := range sweeps {
+		n := 1 + sw.alpha*sw.beta
+		w := maxOf2(n/4, sw.k)
+		var c1s, c2s, cas []cell
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := xrand.NewDerived(cfg.Seed, "E7", fmt.Sprint(sw.alpha), fmt.Sprint(sw.beta), fmt.Sprint(sw.k), fmt.Sprint(trial))
+			topo := topology.NewStar(sw.alpha, sw.beta)
+			in := tm.UniformK(w, sw.k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			mk := func(tag string, ap core.ClusterApproach) *core.Star {
+				return &core.Star{Topo: topo, Rng: xrand.NewDerived(cfg.Seed, "E7rng", tag, fmt.Sprint(trial)), Approach: ap}
+			}
+			c1, err := runCell(in, mk("a1", core.ClusterApproach1))
+			if err != nil {
+				return nil, err
+			}
+			c2, err := runCell(in, mk("a2", core.ClusterApproach2))
+			if err != nil {
+				return nil, err
+			}
+			ca, err := runCell(in, mk("auto", core.ClusterAuto))
+			if err != nil {
+				return nil, err
+			}
+			if ca.Makespan > c1.Makespan && ca.Makespan > c2.Makespan {
+				autoOK = false
+			}
+			c1s, c2s, cas = append(c1s, c1), append(c2s, c2), append(cas, ca)
+		}
+		r1, r2, ra := meanRatio(c1s), meanRatio(c2s), meanRatio(cas)
+		winner := "A1"
+		if r2 < r1 {
+			winner = "A2"
+		}
+		norm := ra / (float64(sw.k) * float64(sw.beta) * math.Log2(float64(sw.beta)))
+		if norm > worstNorm {
+			worstNorm = norm
+		}
+		res.Table.AddRowf(sw.alpha, sw.beta, sw.k, n, r1, r2, ra, winner, norm)
+	}
+	res.Checks = append(res.Checks,
+		checkf("auto ≤ min(A1, A2) on every instance", autoOK, "the selector keeps the shorter schedule"),
+		checkf("auto ratio ≤ 4·k·β·log β everywhere", worstNorm <= 4.0, "worst normalized ratio %.2f (Theorem 5 first branch)", worstNorm))
+	return res, nil
+}

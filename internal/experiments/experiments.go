@@ -1,0 +1,186 @@
+// Package experiments regenerates every result of the paper as a table or
+// figure: one experiment per theorem (E1–E7), the Section 8 lower-bound
+// constructions (E8–E9), and a baseline/ablation comparison (E10). Each
+// experiment sweeps the parameters its theorem quantifies over, measures
+// makespans against certified instance lower bounds, and checks the
+// proven *shape* (who wins, bounded ratios, growth rates) rather than
+// absolute numbers.
+//
+// The package is consumed by cmd/dtmbench (human-readable report, the
+// source of EXPERIMENTS.md) and by the repository-root benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/sim"
+	"dtmsched/internal/stats"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/xrand"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Seed roots all randomness; fixed default for reproducibility.
+	Seed int64
+	// Trials is the number of random instances per parameter cell.
+	Trials int
+	// Quick shrinks sweeps for fast CI/bench runs.
+	Quick bool
+}
+
+// DefaultConfig is the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Seed: xrand.DefaultSeed, Trials: 3}
+}
+
+// Check is one named shape assertion derived from a theorem.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Ref    string // paper reference (theorem / section)
+	Table  *stats.Table
+	Checks []Check
+	Notes  []string
+}
+
+// Failed returns the failing checks.
+func (r *Result) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Ref   string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// cell is one measured (instance, algorithm) data point.
+type cell struct {
+	Makespan int64
+	Bound    lower.Bound
+	CommCost int64
+	Stats    map[string]int64
+}
+
+// Ratio is makespan over the certified lower bound.
+func (c cell) Ratio() float64 {
+	if c.Bound.Value == 0 {
+		return 0
+	}
+	return float64(c.Makespan) / float64(c.Bound.Value)
+}
+
+// runCell schedules in with sched, verifies the schedule both
+// algebraically and in the synchronous simulator, and measures it against
+// the instance lower bound. Any infeasibility is a hard error: the
+// experiments never report unverified schedules.
+func runCell(in *tm.Instance, sched core.Scheduler) (cell, error) {
+	res, err := sched.Schedule(in)
+	if err != nil {
+		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
+	}
+	simRes, err := sim.Run(in, res.Schedule, sim.Options{})
+	if err != nil {
+		return cell{}, fmt.Errorf("%s: simulator rejected schedule: %w", sched.Name(), err)
+	}
+	return cell{
+		Makespan: res.Makespan,
+		Bound:    lower.Compute(in),
+		CommCost: simRes.CommCost,
+		Stats:    res.Stats,
+	}, nil
+}
+
+// runSchedule is runCell for a precomputed schedule.
+func runSchedule(in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
+	if err := s.Validate(in); err != nil {
+		return cell{}, fmt.Errorf("%s: infeasible: %w", name, err)
+	}
+	simRes, err := sim.Run(in, s, sim.Options{})
+	if err != nil {
+		return cell{}, fmt.Errorf("%s: simulator rejected schedule: %w", name, err)
+	}
+	return cell{Makespan: s.Makespan(), Bound: lower.Compute(in), CommCost: simRes.CommCost}, nil
+}
+
+// meanRatio averages cells' ratios.
+func meanRatio(cells []cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += c.Ratio()
+	}
+	return sum / float64(len(cells))
+}
+
+// meanMakespan averages cells' makespans.
+func meanMakespan(cells []cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += float64(c.Makespan)
+	}
+	return sum / float64(len(cells))
+}
+
+// meanBound averages cells' lower bounds.
+func meanBound(cells []cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += float64(c.Bound.Value)
+	}
+	return sum / float64(len(cells))
+}
+
+// checkf builds a Check from a condition and formatted detail.
+func checkf(name string, ok bool, format string, args ...interface{}) Check {
+	return Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"dtmsched/internal/graph"
+	"dtmsched/internal/topology"
+)
+
+// metric adapts a topology's closed-form distance to graph.Metric.
+func metric(t topology.Topology) graph.Metric {
+	return graph.FuncMetric(t.Dist)
+}
+
+func maxOf2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minOf2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

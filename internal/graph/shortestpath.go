@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// Inf is the distance reported between disconnected nodes.
+const Inf = int64(math.MaxInt64)
+
+// ShortestPathTree holds the result of a single-source shortest-path
+// computation: distance and predecessor for every node reachable from the
+// source. Unreachable nodes have Dist == Inf and Parent == -1.
+type ShortestPathTree struct {
+	Source NodeID
+	Dist   []int64
+	Parent []NodeID
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v,
+// inclusive of both endpoints. It returns nil if v is unreachable.
+func (t *ShortestPathTree) PathTo(v NodeID) []NodeID {
+	if int(v) >= len(t.Dist) || t.Dist[v] == Inf {
+		return nil
+	}
+	// Walk parents backwards, then reverse.
+	var rev []NodeID
+	for u := v; ; u = t.Parent[u] {
+		rev = append(rev, u)
+		if u == t.Source {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ShortestPaths computes the single-source shortest-path tree from src,
+// using BFS when all edge weights are 1 and Dijkstra otherwise.
+func (g *Graph) ShortestPaths(src NodeID) *ShortestPathTree {
+	g.checkNode(src)
+	if g.unitWeight {
+		return g.bfs(src)
+	}
+	return g.dijkstra(src)
+}
+
+func (g *Graph) bfs(src NodeID) *ShortestPathTree {
+	n := len(g.adj)
+	t := newTree(src, n)
+	t.Dist[src] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := t.Dist[u]
+		for _, e := range g.adj[u] {
+			if t.Dist[e.To] == Inf {
+				t.Dist[e.To] = du + 1
+				t.Parent[e.To] = u
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return t
+}
+
+func (g *Graph) dijkstra(src NodeID) *ShortestPathTree {
+	n := len(g.adj)
+	t := newTree(src, n)
+	t.Dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		u, du := item.node, item.dist
+		if du > t.Dist[u] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[u] {
+			if nd := du + e.Weight; nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = u
+				heap.Push(pq, distItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+func newTree(src NodeID, n int) *ShortestPathTree {
+	t := &ShortestPathTree{
+		Source: src,
+		Dist:   make([]int64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.Parent[i] = -1
+	}
+	return t
+}
+
+type distItem struct {
+	node NodeID
+	dist int64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// spCache memoizes shortest-path trees per source node.
+type spCache struct {
+	mu    sync.Mutex
+	trees map[NodeID]*ShortestPathTree
+}
+
+func (g *Graph) cache() *spCache {
+	if g.sp == nil {
+		g.sp = &spCache{trees: make(map[NodeID]*ShortestPathTree)}
+	}
+	return g.sp
+}
+
+// Tree returns the (cached) shortest-path tree rooted at src. Safe for
+// concurrent use once construction is complete.
+func (g *Graph) Tree(src NodeID) *ShortestPathTree {
+	c := g.cache()
+	c.mu.Lock()
+	t, ok := c.trees[src]
+	c.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = g.ShortestPaths(src)
+	c.mu.Lock()
+	c.trees[src] = t
+	c.mu.Unlock()
+	return t
+}
+
+// Dist returns the shortest-path distance between u and v, or Inf when v is
+// unreachable from u. Results are memoized per source.
+func (g *Graph) Dist(u, v NodeID) int64 {
+	g.checkNode(v)
+	return g.Tree(u).Dist[v]
+}
+
+// Path returns a shortest path from u to v inclusive, or nil if v is
+// unreachable.
+func (g *Graph) Path(u, v NodeID) []NodeID {
+	g.checkNode(v)
+	return g.Tree(u).PathTo(v)
+}
+
+// Eccentricity returns the maximum finite distance from u to any node,
+// or Inf if some node is unreachable.
+func (g *Graph) Eccentricity(u NodeID) int64 {
+	t := g.Tree(u)
+	var ecc int64
+	for _, d := range t.Dist {
+		if d == Inf {
+			return Inf
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter with one SSSP per node, in parallel.
+// It returns Inf for disconnected graphs.
+func (g *Graph) Diameter() int64 {
+	return g.DiameterParallel(0)
+}

@@ -1,0 +1,159 @@
+// Package lower computes certified execution-time lower bounds for problem
+// instances. Every approximation ratio the benchmark harness reports uses
+// these bounds as its denominator, exactly as the paper's proofs do:
+//
+//   - ℓ = max objects' requester counts: an object's requesters execute at
+//     pairwise-distinct steps separated by ≥ 1, so the makespan is ≥ ℓ
+//     (Theorem 1's lower bound);
+//   - the longest shortest walk of any object from its home through all of
+//     its requesters (the TSP-style bound of Sections 4 and 8);
+//   - h_max, the largest distance between two conflicting transactions
+//     (Section 2.3).
+//
+// Because these are true lower bounds on the optimum, measured ratios
+// (makespan / bound) can only overstate an algorithm's distance from
+// optimal, never understate it.
+package lower
+
+import (
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/tsp"
+)
+
+// ObjectDetail records the per-object quantities entering the bound.
+type ObjectDetail struct {
+	Object tm.ObjectID
+	// Users is |A_i|: how many transactions request the object.
+	Users int
+	// Walk bounds the object's shortest home-rooted walk through all
+	// its requesters.
+	Walk tsp.Bounds
+	// Tour bounds the object's optimal TSP tour through its requesters
+	// (Theorem 6's measure).
+	Tour tsp.Bounds
+}
+
+// LB returns the object's certified execution-time lower bound.
+func (d ObjectDetail) LB() int64 {
+	lb := int64(d.Users)
+	if d.Walk.LB > lb {
+		lb = d.Walk.LB
+	}
+	return lb
+}
+
+// Bound is the instance-level certified lower bound with its witnesses.
+type Bound struct {
+	// Value is the lower bound on the optimal makespan, ≥ 1 whenever
+	// the instance has at least one transaction.
+	Value int64
+	// MaxUse is ℓ.
+	MaxUse int
+	// MaxWalkLB / MaxWalkUB bracket the longest shortest object walk.
+	MaxWalkLB, MaxWalkUB int64
+	// MaxTourLB / MaxTourUB bracket the longest optimal object TSP tour.
+	MaxTourLB, MaxTourUB int64
+	// PerObject has one entry per object that is requested at all.
+	PerObject []ObjectDetail
+}
+
+// Compute derives the certified bound for an instance. Cost is dominated
+// by one shortest-walk computation per object (exact up to tsp.ExactLimit
+// requesters, MST bounds beyond).
+func Compute(in *tm.Instance) Bound {
+	b := Bound{}
+	for o := 0; o < in.NumObjects; o++ {
+		oid := tm.ObjectID(o)
+		users := in.Users(oid)
+		if len(users) == 0 {
+			continue
+		}
+		sites := make([]graph.NodeID, len(users))
+		for i, id := range users {
+			sites[i] = in.Txns[id].Node
+		}
+		d := ObjectDetail{
+			Object: oid,
+			Users:  len(users),
+			Walk:   tsp.Walk(in.Metric, in.Home[oid], sites),
+			Tour:   tsp.Tour(in.Metric, sites),
+		}
+		b.PerObject = append(b.PerObject, d)
+		if d.Users > b.MaxUse {
+			b.MaxUse = d.Users
+		}
+		if d.Walk.LB > b.MaxWalkLB {
+			b.MaxWalkLB = d.Walk.LB
+		}
+		if d.Walk.UB > b.MaxWalkUB {
+			b.MaxWalkUB = d.Walk.UB
+		}
+		if d.Tour.LB > b.MaxTourLB {
+			b.MaxTourLB = d.Tour.LB
+		}
+		if d.Tour.UB > b.MaxTourUB {
+			b.MaxTourUB = d.Tour.UB
+		}
+		if lb := d.LB(); lb > b.Value {
+			b.Value = lb
+		}
+	}
+	if b.Value < 1 && in.NumTxns() > 0 {
+		b.Value = 1
+	}
+	return b
+}
+
+// ClusterSigma returns σ: the maximum, over objects, of the number of
+// distinct clusters containing a requester of the object (Section 6).
+func ClusterSigma(in *tm.Instance, c *topology.ClusterGraph) int {
+	sigma := 0
+	for o := 0; o < in.NumObjects; o++ {
+		clusters := make(map[int]struct{})
+		for _, id := range in.Users(tm.ObjectID(o)) {
+			clusters[c.ClusterOf(in.Txns[id].Node)] = struct{}{}
+		}
+		if len(clusters) > sigma {
+			sigma = len(clusters)
+		}
+	}
+	return sigma
+}
+
+// ClusterLB is the Section 6 lower bound Ω(σγ): an object used in σ
+// clusters must cross σ−1 bridges of weight γ. It is implied by the walk
+// bound but reported separately so experiments can show both.
+func ClusterLB(in *tm.Instance, c *topology.ClusterGraph) int64 {
+	sigma := ClusterSigma(in, c)
+	if sigma <= 1 {
+		return 1
+	}
+	return int64(sigma-1) * c.Gamma()
+}
+
+// StarSigma returns, for segment set index i of the star decomposition,
+// the maximum number of distinct ray segments of V_i that any object must
+// visit (the paper's σ_i).
+func StarSigma(in *tm.Instance, s *topology.Star, segIndex int) int {
+	segs := s.Segments(segIndex)
+	if len(segs) == 0 {
+		return 0
+	}
+	lo, hi := segs[0].Lo, segs[0].Hi
+	sigma := 0
+	for o := 0; o < in.NumObjects; o++ {
+		rays := make(map[int]struct{})
+		for _, id := range in.Users(tm.ObjectID(o)) {
+			ray, pos := s.RayOf(in.Txns[id].Node)
+			if ray >= 0 && pos >= lo && pos <= hi {
+				rays[ray] = struct{}{}
+			}
+		}
+		if len(rays) > sigma {
+			sigma = len(rays)
+		}
+	}
+	return sigma
+}

@@ -1,0 +1,316 @@
+// Package online addresses the paper's first open question (Section 9):
+// scheduling when transactions are not known ahead of time but arrive
+// continuously. It implements an event-driven online executor for the same
+// synchronous data-flow model: transactions arrive at their nodes over
+// time, request their objects, and commit when all objects have assembled.
+//
+// Deadlock freedom comes from ordered acquisition: a transaction requests
+// its objects in increasing object-ID order and holds each one until it
+// commits, the classic resource-ordering discipline. Which waiting
+// transaction a freed object travels to next is the pluggable Policy — the
+// online analogue of contention management. The executor never aborts
+// transactions: the model's single-copy objects make conflicts pure
+// queueing, exactly as in the offline schedulers.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+)
+
+// Arrival couples a transaction with its release (arrival) step.
+type Arrival struct {
+	Txn tm.TxnID
+	At  int64 // step at which the transaction becomes known, ≥ 0
+}
+
+// Policy picks, among the transactions currently waiting for an object,
+// the one the object should travel to next.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick chooses one of the candidates (all waiting for the object,
+	// never empty). from is the object's current node; waitingSince[i]
+	// is the step candidate i started waiting.
+	Pick(in *tm.Instance, object tm.ObjectID, from graph.NodeID, candidates []tm.TxnID, waitingSince []int64) tm.TxnID
+}
+
+// FIFO serves the transaction that has waited longest (ties by ID) —
+// the fairness-first contention manager.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "online/fifo" }
+
+// Pick implements Policy.
+func (FIFO) Pick(_ *tm.Instance, _ tm.ObjectID, _ graph.NodeID, candidates []tm.TxnID, waitingSince []int64) tm.TxnID {
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		if waitingSince[i] < waitingSince[best] ||
+			(waitingSince[i] == waitingSince[best] && candidates[i] < candidates[best]) {
+			best = i
+		}
+	}
+	return candidates[best]
+}
+
+// Nearest sends the object to the closest waiting transaction — the
+// communication-cost-greedy manager, an online shadow of the TSP walks the
+// offline lower bounds are built from.
+type Nearest struct{}
+
+// Name implements Policy.
+func (Nearest) Name() string { return "online/nearest" }
+
+// Pick implements Policy.
+func (Nearest) Pick(in *tm.Instance, _ tm.ObjectID, from graph.NodeID, candidates []tm.TxnID, _ []int64) tm.TxnID {
+	best := candidates[0]
+	bestD := in.Dist(from, in.Txns[best].Node)
+	for _, id := range candidates[1:] {
+		if d := in.Dist(from, in.Txns[id].Node); d < bestD || (d == bestD && id < best) {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// Random picks a uniformly random waiting transaction — the randomized
+// contention manager of the experimental TM literature.
+type Random struct{ Rng *rand.Rand }
+
+// Name implements Policy.
+func (Random) Name() string { return "online/random" }
+
+// Pick implements Policy.
+func (p Random) Pick(_ *tm.Instance, _ tm.ObjectID, _ graph.NodeID, candidates []tm.TxnID, _ []int64) tm.TxnID {
+	return candidates[p.Rng.Intn(len(candidates))]
+}
+
+// Result reports one online execution.
+type Result struct {
+	// Policy is the contention-management policy used.
+	Policy string
+	// Makespan is the step at which the last transaction committed.
+	Makespan int64
+	// CommCost is the total distance traveled by all objects.
+	CommCost int64
+	// CommitTime[i] is the commit step of transaction i.
+	CommitTime []int64
+	// MeanResponse is the average of (commit − arrival) over
+	// transactions.
+	MeanResponse float64
+	// MaxResponse is the worst response time.
+	MaxResponse int64
+}
+
+// Run executes the instance online under the given arrivals and policy.
+// Arrivals must cover every transaction exactly once. The executor is
+// deterministic given the policy (and its Rng).
+func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
+	m := in.NumTxns()
+	if len(arrivals) != m {
+		return nil, fmt.Errorf("online: %d arrivals for %d transactions", len(arrivals), m)
+	}
+	arriveAt := make([]int64, m)
+	for i := range arriveAt {
+		arriveAt[i] = -1
+	}
+	for _, a := range arrivals {
+		if a.Txn < 0 || int(a.Txn) >= m {
+			return nil, fmt.Errorf("online: arrival for unknown transaction %d", a.Txn)
+		}
+		if arriveAt[a.Txn] >= 0 {
+			return nil, fmt.Errorf("online: duplicate arrival for transaction %d", a.Txn)
+		}
+		if a.At < 0 {
+			return nil, fmt.Errorf("online: negative arrival time %d", a.At)
+		}
+		arriveAt[a.Txn] = a.At
+	}
+
+	// Transaction progress: next object index to acquire (in sorted
+	// object order), held[] flags.
+	type txnState struct {
+		nextObj      int
+		waitingSince int64 // step it started waiting for nextObj (−1 = n/a)
+	}
+	txns := make([]txnState, m)
+	commit := make([]int64, m)
+	for i := range commit {
+		commit[i] = -1
+	}
+
+	// Object state.
+	type objState struct {
+		node    graph.NodeID
+		busyTil int64    // in transit until this step (arrival step)
+		holder  tm.TxnID // −1 when free
+		target  tm.TxnID // −1 when not in transit
+	}
+	objs := make([]objState, in.NumObjects)
+	for o := range objs {
+		objs[o] = objState{node: in.Home[o], holder: -1, target: -1}
+	}
+
+	res := &Result{Policy: pol.Name(), CommitTime: commit}
+	remaining := m
+
+	// The horizon guards against executor bugs; ordered acquisition
+	// guarantees progress long before it.
+	var horizon int64 = 16
+	var diamBound int64
+	for o := range objs {
+		for _, id := range in.Users(tm.ObjectID(o)) {
+			if d := in.Dist(in.Home[o], in.Txns[id].Node); d > diamBound {
+				diamBound = d
+			}
+		}
+	}
+	for _, a := range arrivals {
+		if a.At > horizon {
+			horizon = a.At
+		}
+	}
+	horizon += int64(m+1) * (diamBound + 2) * int64(maxInt(in.MaxK(), 1))
+
+	for step := int64(1); remaining > 0; step++ {
+		if step > horizon {
+			return nil, fmt.Errorf("online: no progress by step %d with %d transactions pending", step, remaining)
+		}
+		// 1. Deliveries: objects arriving this step are handed to their
+		// target transaction (held until commit).
+		for o := range objs {
+			st := &objs[o]
+			if st.target >= 0 && st.busyTil <= step {
+				st.holder, st.target = st.target, -1
+				ts := &txns[st.holder]
+				ts.nextObj++
+				ts.waitingSince = -1
+			}
+		}
+		// 2. Commits: transactions holding all their objects execute.
+		for i := 0; i < m; i++ {
+			if commit[i] >= 0 || arriveAt[i] > step {
+				continue
+			}
+			if txns[i].nextObj == len(in.Txns[i].Objects) {
+				commit[i] = step
+				remaining--
+				if step > res.Makespan {
+					res.Makespan = step
+				}
+				// Release all held objects at this node.
+				for _, o := range in.Txns[i].Objects {
+					objs[o].holder = -1
+					objs[o].node = in.Txns[i].Node
+					objs[o].busyTil = step
+				}
+			}
+		}
+		// 3. Requests: each live transaction starts waiting for its next
+		// object (ordered acquisition ⇒ at most one outstanding request).
+		waiting := make(map[tm.ObjectID][]tm.TxnID)
+		for i := 0; i < m; i++ {
+			if commit[i] >= 0 || arriveAt[i] > step {
+				continue
+			}
+			ts := &txns[i]
+			if ts.nextObj < len(in.Txns[i].Objects) {
+				if ts.waitingSince < 0 {
+					ts.waitingSince = step
+				}
+				o := in.Txns[i].Objects[ts.nextObj]
+				waiting[o] = append(waiting[o], tm.TxnID(i))
+			}
+		}
+		// 4. Dispatch: each free, idle object picks a waiter via the
+		// policy and departs (arrives after dist steps; dist 0 = next
+		// step delivery so holding is atomic per step).
+		dispatchOrder := make([]int, 0, len(waiting))
+		for o := range waiting {
+			dispatchOrder = append(dispatchOrder, int(o))
+		}
+		sort.Ints(dispatchOrder) // deterministic iteration
+		for _, oi := range dispatchOrder {
+			o := tm.ObjectID(oi)
+			st := &objs[o]
+			if st.holder >= 0 || st.target >= 0 || st.busyTil > step {
+				continue
+			}
+			cands := waiting[o]
+			since := make([]int64, len(cands))
+			for i, id := range cands {
+				since[i] = txns[id].waitingSince
+			}
+			chosen := pol.Pick(in, o, st.node, cands, since)
+			d := in.Dist(st.node, in.Txns[chosen].Node)
+			st.target = chosen
+			st.busyTil = step + maxI64(d, 1) // same-node handoff takes one step
+			res.CommCost += d
+		}
+	}
+
+	var totalResp float64
+	for i := 0; i < m; i++ {
+		resp := commit[i] - arriveAt[i]
+		totalResp += float64(resp)
+		if resp > res.MaxResponse {
+			res.MaxResponse = resp
+		}
+	}
+	if m > 0 {
+		res.MeanResponse = totalResp / float64(m)
+	}
+	return res, nil
+}
+
+// BatchArrivals releases every transaction at step 0, making the online
+// executor directly comparable with the offline batch schedulers.
+func BatchArrivals(in *tm.Instance) []Arrival {
+	out := make([]Arrival, in.NumTxns())
+	for i := range out {
+		out[i] = Arrival{Txn: tm.TxnID(i)}
+	}
+	return out
+}
+
+// PoissonArrivals spreads arrivals with geometric inter-arrival gaps of
+// mean 1/rate transactions per step, in ID order — the standard open-system
+// workload.
+func PoissonArrivals(r *rand.Rand, in *tm.Instance, rate float64) []Arrival {
+	if rate <= 0 {
+		panic(fmt.Sprintf("online: non-positive arrival rate %v", rate))
+	}
+	out := make([]Arrival, in.NumTxns())
+	var t int64
+	for i := range out {
+		out[i] = Arrival{Txn: tm.TxnID(i), At: t}
+		// Geometric gap with success probability min(rate, 1).
+		p := rate
+		if p > 1 {
+			p = 1
+		}
+		for r.Float64() > p {
+			t++
+		}
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func cliqueInstance(n, w, k int, seed int64) *tm.Instance {
+	topo := topology.NewClique(n)
+	return tm.UniformK(w, k).Generate(xrand.New(seed), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+}
+
+func TestBatchRunCompletes(t *testing.T) {
+	in := cliqueInstance(24, 8, 2, 1)
+	for _, pol := range []Policy{FIFO{}, Nearest{}, Random{Rng: xrand.New(2)}} {
+		res, err := Run(in, BatchArrivals(in), pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Makespan < 1 {
+			t.Fatalf("%s: makespan %d", pol.Name(), res.Makespan)
+		}
+		for i, c := range res.CommitTime {
+			if c < 1 {
+				t.Fatalf("%s: transaction %d never committed", pol.Name(), i)
+			}
+		}
+		// Online execution can never beat the offline certified bound.
+		lb := lower.Compute(in)
+		if res.Makespan < lb.Value {
+			t.Fatalf("%s: makespan %d below lower bound %d", pol.Name(), res.Makespan, lb.Value)
+		}
+	}
+}
+
+func TestCommitRespectsArrival(t *testing.T) {
+	in := cliqueInstance(12, 6, 2, 3)
+	arr := BatchArrivals(in)
+	arr[5].At = 40
+	res, err := Run(in, arr, FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitTime[5] <= 40 {
+		t.Fatalf("transaction 5 committed at %d before arriving at 40", res.CommitTime[5])
+	}
+	if res.MaxResponse < 1 {
+		t.Fatalf("MaxResponse = %d", res.MaxResponse)
+	}
+}
+
+func TestOrderedAcquisitionNoDeadlockProperty(t *testing.T) {
+	// High-contention random instances: the executor must always drain.
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(24)
+		w := 2 + r.Intn(5) // few objects = heavy conflicts
+		k := 1 + r.Intn(minInt(w, 3))
+		in := cliqueInstance(n, w, k, seed)
+		pol := Policy(FIFO{})
+		switch seed % 3 {
+		case 1:
+			pol = Nearest{}
+		case 2:
+			pol = Random{Rng: rand.New(rand.NewSource(seed + 7))}
+		}
+		res, err := Run(in, BatchArrivals(in), pol)
+		if err != nil {
+			return false
+		}
+		for _, c := range res.CommitTime {
+			if c < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectNeverAtTwoPlaces(t *testing.T) {
+	// Single hot object: commits must be totally ordered with gaps ≥ 1.
+	in := cliqueInstance(16, 1, 1, 4)
+	res, err := Run(in, BatchArrivals(in), Nearest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, c := range res.CommitTime {
+		if seen[c] {
+			t.Fatalf("two holders of the single object committed at step %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := cliqueInstance(4, 2, 1, 5)
+	if _, err := Run(in, nil, FIFO{}); err == nil {
+		t.Fatal("accepted missing arrivals")
+	}
+	arr := BatchArrivals(in)
+	arr[0].Txn = 99
+	if _, err := Run(in, arr, FIFO{}); err == nil {
+		t.Fatal("accepted unknown transaction")
+	}
+	arr = BatchArrivals(in)
+	arr[1] = arr[0]
+	if _, err := Run(in, arr, FIFO{}); err == nil {
+		t.Fatal("accepted duplicate arrival")
+	}
+	arr = BatchArrivals(in)
+	arr[0].At = -1
+	if _, err := Run(in, arr, FIFO{}); err == nil {
+		t.Fatal("accepted negative arrival")
+	}
+}
+
+func TestPoissonArrivalsMonotone(t *testing.T) {
+	in := cliqueInstance(32, 8, 2, 6)
+	arr := PoissonArrivals(xrand.New(1), in, 0.5)
+	if len(arr) != 32 {
+		t.Fatalf("arrivals = %d", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrival times decreasing")
+		}
+	}
+	res, err := Run(in, arr, FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < arr[len(arr)-1].At {
+		t.Fatal("makespan before last arrival")
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	in := cliqueInstance(4, 2, 1, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PoissonArrivals(xrand.New(1), in, 0)
+}
+
+func TestNearestReducesCommCost(t *testing.T) {
+	// On a long line with a single shared object, Nearest should travel
+	// far less than FIFO over random arrival order, and never more than
+	// the worst case.
+	topo := topology.NewLine(64)
+	in := tm.SingleObject().Generate(xrand.New(8), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	near, err := Run(in, BatchArrivals(in), Nearest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := Run(in, BatchArrivals(in), FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.CommCost > fifo.CommCost {
+		t.Fatalf("nearest comm %d > fifo comm %d", near.CommCost, fifo.CommCost)
+	}
+	// Nearest on a line with batch arrivals sweeps to the closer end and
+	// back across: an optimal walk, which the certified bracket pins
+	// within its factor-2 MST bounds.
+	lb := lower.Compute(in)
+	if near.CommCost < lb.MaxWalkLB || near.CommCost > lb.MaxWalkUB {
+		t.Fatalf("nearest comm %d outside walk bracket [%d,%d]", near.CommCost, lb.MaxWalkLB, lb.MaxWalkUB)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FIFO{}).Name() != "online/fifo" || (Nearest{}).Name() != "online/nearest" ||
+		(Random{}).Name() != "online/random" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package parexec executes a schedule on a parallel step-synchronous
+// engine: nodes are processed by a pool of goroutine workers within each
+// synchronous step, objects travel hop by hop as messages through per-node
+// mailboxes, and steps are separated by barriers. It is the concurrent
+// counterpart of the sequential simulator in package sim — same semantics,
+// different machinery — so agreement between the two is a strong check on
+// both (and is asserted by tests and usable under `go test -race`).
+//
+// Determinism: within a step, node processing order does not affect the
+// outcome (each node touches only its own mailbox and appends to a
+// worker-private outbox merged at the barrier), so results are identical
+// across worker counts.
+package parexec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// message is one object in flight: it sits at a node and, unless it has
+// reached its destination, continues along its precomputed hop path.
+type message struct {
+	obj  tm.ObjectID
+	dest tm.TxnID
+	// path holds the remaining nodes, path[0] being the node the
+	// message is currently at (or arriving at).
+	path []graph.NodeID
+	// readyAt is the step at which the message is at path[0] (edges
+	// with weight w > 1 take w steps per hop).
+	readyAt int64
+}
+
+// Result mirrors sim.Result for cross-checking.
+type Result struct {
+	Makespan int64
+	CommCost int64
+	Executed int
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// Options configures the executor.
+type Options struct {
+	// Workers is the goroutine pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes schedule s on instance in and verifies object presence at
+// every commit, exactly like sim.Run, but with per-step parallel node
+// processing.
+func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
+	m := in.NumTxns()
+	if len(s.Times) != m {
+		return nil, fmt.Errorf("parexec: schedule has %d times for %d transactions", len(s.Times), m)
+	}
+	for i, t := range s.Times {
+		if t < 1 {
+			return nil, fmt.Errorf("parexec: transaction %d at step %d < 1", i, t)
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := in.G.NumNodes()
+	if workers > n {
+		workers = n
+	}
+
+	// Itineraries and the transaction hosted per node.
+	itineraries := make([][]tm.TxnID, in.NumObjects)
+	nextStop := make([]int, in.NumObjects)
+	for o := range itineraries {
+		itineraries[o] = s.Order(in, tm.ObjectID(o))
+	}
+	txnAt := make(map[graph.NodeID]tm.TxnID, m)
+	for i := range in.Txns {
+		txnAt[in.Txns[i].Node] = tm.TxnID(i)
+	}
+
+	// Mailboxes: resident[v] holds messages whose path is exhausted
+	// (object waiting at v); moving[v] holds messages currently at v
+	// still traveling.
+	resident := make([][]message, n)
+	moving := make([][]message, n)
+
+	// route prepares the message for object o from `from` to its next
+	// itinerary stop, departing at step depart. Returns false when the
+	// object has no further requester.
+	var commCost atomic.Int64
+	route := func(o tm.ObjectID, from graph.NodeID, depart int64) (message, bool) {
+		idx := nextStop[o]
+		if idx >= len(itineraries[o]) {
+			return message{}, false
+		}
+		dest := itineraries[o][idx]
+		destNode := in.Txns[dest].Node
+		if destNode == from {
+			return message{obj: o, dest: dest, path: []graph.NodeID{from}, readyAt: depart}, true
+		}
+		p := in.G.Path(from, destNode)
+		commCost.Add(in.G.Dist(from, destNode))
+		return message{obj: o, dest: dest, path: p, readyAt: depart}, true
+	}
+
+	// Initial dispatch from homes (departing at step 0).
+	for o := 0; o < in.NumObjects; o++ {
+		if msg, ok := route(tm.ObjectID(o), in.Home[o], 0); ok {
+			v := msg.path[0]
+			if len(msg.path) == 1 {
+				resident[v] = append(resident[v], msg)
+			} else {
+				moving[v] = append(moving[v], msg)
+			}
+		}
+	}
+
+	horizon := s.Makespan()
+	executed := 0
+	var makespan int64
+
+	// Per-worker outboxes, merged after each phase (avoids a shared
+	// mutex on hot paths).
+	type outMsg struct {
+		node graph.NodeID
+		msg  message
+	}
+	outboxes := make([][]outMsg, workers)
+	errs := make([]error, workers)
+
+	parallelNodes := func(fn func(worker int, v graph.NodeID)) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if int(i) >= n {
+						return
+					}
+					fn(w, graph.NodeID(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for step := int64(1); step <= horizon; step++ {
+		// Phase 1 (parallel): advance traveling messages one hop where
+		// their edge traversal has elapsed; deliver those arriving.
+		parallelNodes(func(w int, v graph.NodeID) {
+			keep := moving[v][:0]
+			for _, msg := range moving[v] {
+				wgt, _ := in.G.HasEdge(msg.path[0], msg.path[1])
+				if step < msg.readyAt+wgt {
+					keep = append(keep, msg) // still traversing
+					continue
+				}
+				msg.path = msg.path[1:]
+				msg.readyAt = step
+				outboxes[w] = append(outboxes[w], outMsg{node: msg.path[0], msg: msg})
+			}
+			moving[v] = keep
+		})
+		for w := range outboxes {
+			for _, om := range outboxes[w] {
+				if len(om.msg.path) == 1 {
+					resident[om.node] = append(resident[om.node], om.msg)
+				} else {
+					moving[om.node] = append(moving[om.node], om.msg)
+				}
+			}
+			outboxes[w] = outboxes[w][:0]
+		}
+
+		// Phase 2 (parallel): nodes whose transaction fires this step
+		// verify object presence; failures are collected per worker.
+		var fired []tm.TxnID
+		var firedMu sync.Mutex
+		parallelNodes(func(w int, v graph.NodeID) {
+			id, ok := txnAt[v]
+			if !ok || s.Times[id] != step {
+				return
+			}
+			have := make(map[tm.ObjectID]bool, len(resident[v]))
+			for _, msg := range resident[v] {
+				if msg.dest == id && msg.readyAt <= step {
+					have[msg.obj] = true
+				}
+			}
+			for _, o := range in.Txns[id].Objects {
+				if !have[o] {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("parexec: transaction %d at step %d missing object %d", id, step, o)
+					}
+					return
+				}
+			}
+			firedMu.Lock()
+			fired = append(fired, id)
+			firedMu.Unlock()
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Phase 3 (sequential, tiny): committed transactions release and
+		// re-route their objects. Sequential because nextStop is shared
+		// per object; commits per step are few.
+		sort.Slice(fired, func(a, b int) bool { return fired[a] < fired[b] })
+		for _, id := range fired {
+			v := in.Txns[id].Node
+			executed++
+			if step > makespan {
+				makespan = step
+			}
+			// Drop consumed messages.
+			keep := resident[v][:0]
+			var held []tm.ObjectID
+			for _, msg := range resident[v] {
+				if msg.dest == id {
+					held = append(held, msg.obj)
+				} else {
+					keep = append(keep, msg)
+				}
+			}
+			resident[v] = keep
+			for _, o := range held {
+				nextStop[o]++
+				if msg, ok := route(o, v, step); ok {
+					dst := msg.path[0]
+					if len(msg.path) == 1 {
+						resident[dst] = append(resident[dst], msg)
+					} else {
+						moving[dst] = append(moving[dst], msg)
+					}
+				}
+			}
+		}
+	}
+
+	if executed != m {
+		return nil, fmt.Errorf("parexec: only %d of %d transactions executed by the horizon", executed, m)
+	}
+	return &Result{Makespan: makespan, CommCost: commCost.Load(), Executed: executed, Workers: workers}, nil
+}

@@ -1,0 +1,135 @@
+package parexec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/sim"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func instanceAndSchedule(t testing.TB, seed int64) (*tm.Instance, *schedule.Schedule) {
+	t.Helper()
+	topo := topology.NewSquareGrid(8)
+	in := tm.UniformK(16, 2).Generate(xrand.New(seed), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	res, err := (&core.Grid{Topo: topo}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, res.Schedule
+}
+
+func TestAgreesWithSequentialSimulator(t *testing.T) {
+	in, s := instanceAndSchedule(t, 1)
+	want, err := sim.Run(in, s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Run(in, s, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Makespan != want.Makespan || got.CommCost != want.CommCost || got.Executed != want.Executed {
+			t.Fatalf("workers=%d: parexec (%d,%d,%d) != sim (%d,%d,%d)", workers,
+				got.Makespan, got.CommCost, got.Executed,
+				want.Makespan, want.CommCost, want.Executed)
+		}
+	}
+}
+
+func TestRejectsInfeasible(t *testing.T) {
+	in, s := instanceAndSchedule(t, 2)
+	bad := s.Clone()
+	// Find a transaction whose objects travel, and pull it to step 1.
+	for i := range bad.Times {
+		if bad.Times[i] > 1 && len(in.Txns[i].Objects) > 0 {
+			bad.Times[i] = 1
+			break
+		}
+	}
+	if s.Validate(in) != nil {
+		t.Fatal("base schedule should be feasible")
+	}
+	if bad.Validate(in) == nil {
+		t.Skip("perturbation happened to stay feasible")
+	}
+	if _, err := Run(in, bad, Options{}); err == nil {
+		t.Fatal("parexec accepted an infeasible schedule")
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	in, s := instanceAndSchedule(t, 3)
+	if _, err := Run(in, &schedule.Schedule{Times: []int64{1}}, Options{}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad := s.Clone()
+	bad.Times[0] = 0
+	if _, err := Run(in, bad, Options{}); err == nil {
+		t.Fatal("step 0 accepted")
+	}
+}
+
+func TestWeightedEdgesCluster(t *testing.T) {
+	topo := topology.NewCluster(4, 4, 8)
+	in := tm.UniformK(8, 2).Generate(xrand.New(4), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	res, err := (&core.Cluster{Topo: topo, Rng: xrand.New(5)}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(in, res.Schedule, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(in, res.Schedule, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan || got.Executed != want.Executed {
+		t.Fatalf("parexec (%d,%d) != sim (%d,%d)", got.Makespan, got.Executed, want.Makespan, want.Executed)
+	}
+}
+
+// TestAgreementProperty cross-checks the concurrent and sequential engines
+// on random instances and schedulers — the package's keystone invariant.
+func TestAgreementProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo := topology.NewClique(4 + r.Intn(20))
+		w := 2 + r.Intn(6)
+		k := 1 + r.Intn(minInt(w, 3))
+		in := tm.UniformK(w, k).Generate(r, topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		res, err := (&core.Greedy{}).Schedule(in)
+		if err != nil {
+			return false
+		}
+		want, err := sim.Run(in, res.Schedule, sim.Options{})
+		if err != nil {
+			return false
+		}
+		got, err := Run(in, res.Schedule, Options{Workers: 1 + int(seed&3)})
+		if err != nil {
+			return false
+		}
+		return got.Makespan == want.Makespan && got.CommCost == want.CommCost && got.Executed == want.Executed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

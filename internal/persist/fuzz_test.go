@@ -1,0 +1,54 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance hardens the decoder against malformed input: it must
+// either return an error or an instance that passes validation — never
+// panic, never return garbage.
+func FuzzReadInstance(f *testing.F) {
+	f.Add(`{"version":1,"nodes":2,"edges":[{"u":0,"v":1,"w":1}],"numObjects":1,"home":[0],"txns":[{"node":0,"objects":[0]},{"node":1,"objects":[0]}]}`)
+	f.Add(`{"version":1,"nodes":0,"numObjects":0}`)
+	f.Add(`{"version":9}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"version":1,"nodes":-5}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		in, err := ReadInstance(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid instance: %v", err)
+		}
+		// Round-trip must be stable.
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.NumTxns() != in.NumTxns() || again.G.NumEdges() != in.G.NumEdges() {
+			t.Fatal("round-trip changed the instance")
+		}
+	})
+}
+
+// FuzzReadSchedule: the schedule decoder must never panic.
+func FuzzReadSchedule(f *testing.F) {
+	f.Add(`{"version":1,"times":[1,2,3]}`)
+	f.Add(`{"version":1,"times":[]}`)
+	f.Add(`{"version":0}`)
+	f.Add(`x`)
+	f.Fuzz(func(t *testing.T, body string) {
+		s, err := ReadSchedule(strings.NewReader(body))
+		if err == nil && s == nil {
+			t.Fatal("nil schedule without error")
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package persist serializes problem instances, schedules, and results to
+// a stable JSON format, so experiments can be saved, shared, diffed, and
+// replayed. The format stores the communication graph explicitly (node
+// count + weighted edge list), making files self-contained: loading never
+// needs to know which topology generator produced the graph.
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// FormatVersion is embedded in every file; Load rejects unknown versions.
+const FormatVersion = 1
+
+// edgeJSON is one undirected weighted edge.
+type edgeJSON struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// txnJSON is one transaction.
+type txnJSON struct {
+	Node    int   `json:"node"`
+	Objects []int `json:"objects"`
+}
+
+// InstanceFile is the on-disk form of a problem instance.
+type InstanceFile struct {
+	Version    int        `json:"version"`
+	Name       string     `json:"name,omitempty"`
+	Nodes      int        `json:"nodes"`
+	Edges      []edgeJSON `json:"edges"`
+	NumObjects int        `json:"numObjects"`
+	Home       []int      `json:"home"`
+	Txns       []txnJSON  `json:"txns"`
+}
+
+// ScheduleFile is the on-disk form of a schedule (optionally embedded in
+// a ResultFile).
+type ScheduleFile struct {
+	Version int     `json:"version"`
+	Times   []int64 `json:"times"`
+}
+
+// ResultFile couples a schedule with its measured outcome for archival.
+type ResultFile struct {
+	Version    int     `json:"version"`
+	Algorithm  string  `json:"algorithm"`
+	Makespan   int64   `json:"makespan"`
+	LowerBound int64   `json:"lowerBound,omitempty"`
+	CommCost   int64   `json:"commCost,omitempty"`
+	Times      []int64 `json:"times"`
+}
+
+// EncodeInstance converts an instance to its file form.
+func EncodeInstance(in *tm.Instance) *InstanceFile {
+	f := &InstanceFile{
+		Version:    FormatVersion,
+		Name:       in.G.Name(),
+		Nodes:      in.G.NumNodes(),
+		NumObjects: in.NumObjects,
+		Home:       make([]int, len(in.Home)),
+	}
+	for i, h := range in.Home {
+		f.Home[i] = int(h)
+	}
+	seen := make(map[[2]int]bool)
+	for u := 0; u < f.Nodes; u++ {
+		for _, e := range in.G.Neighbors(graph.NodeID(u)) {
+			a, b := u, int(e.To)
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			w, _ := in.G.HasEdge(graph.NodeID(a), graph.NodeID(b))
+			f.Edges = append(f.Edges, edgeJSON{U: a, V: b, W: w})
+		}
+	}
+	for i := range in.Txns {
+		t := txnJSON{Node: int(in.Txns[i].Node)}
+		for _, o := range in.Txns[i].Objects {
+			t.Objects = append(t.Objects, int(o))
+		}
+		f.Txns = append(f.Txns, t)
+	}
+	return f
+}
+
+// DecodeInstance rebuilds a validated instance from its file form. The
+// distance oracle is the graph itself (shortest paths); closed-form
+// metrics are a generator-side optimization that files do not carry.
+func DecodeInstance(f *InstanceFile) (*tm.Instance, error) {
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	if f.Nodes < 0 {
+		return nil, fmt.Errorf("persist: negative node count")
+	}
+	g := graph.NewNamed(f.Name, f.Nodes)
+	for _, e := range f.Edges {
+		if e.U < 0 || e.U >= f.Nodes || e.V < 0 || e.V >= f.Nodes || e.U == e.V || e.W < 1 {
+			return nil, fmt.Errorf("persist: invalid edge %+v", e)
+		}
+		g.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V), e.W)
+	}
+	txns := make([]tm.Txn, len(f.Txns))
+	for i, t := range f.Txns {
+		txns[i].Node = graph.NodeID(t.Node)
+		for _, o := range t.Objects {
+			txns[i].Objects = append(txns[i].Objects, tm.ObjectID(o))
+		}
+	}
+	home := make([]graph.NodeID, len(f.Home))
+	for i, h := range f.Home {
+		home[i] = graph.NodeID(h)
+	}
+	in := tm.NewInstance(g, nil, f.NumObjects, txns, home)
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: decoded instance invalid: %w", err)
+	}
+	return in, nil
+}
+
+// WriteInstance writes the instance as indented JSON.
+func WriteInstance(w io.Writer, in *tm.Instance) error {
+	return writeJSON(w, EncodeInstance(in))
+}
+
+// ReadInstance parses an instance from JSON.
+func ReadInstance(r io.Reader) (*tm.Instance, error) {
+	var f InstanceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return DecodeInstance(&f)
+}
+
+// SaveInstance writes the instance to a file path.
+func SaveInstance(path string, in *tm.Instance) error {
+	return saveTo(path, func(w io.Writer) error { return WriteInstance(w, in) })
+}
+
+// LoadInstance reads an instance from a file path.
+func LoadInstance(path string) (*tm.Instance, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return ReadInstance(bufio.NewReader(fd))
+}
+
+// WriteSchedule writes a schedule as JSON.
+func WriteSchedule(w io.Writer, s *schedule.Schedule) error {
+	return writeJSON(w, &ScheduleFile{Version: FormatVersion, Times: s.Times})
+}
+
+// ReadSchedule parses a schedule from JSON; the caller validates it
+// against its instance.
+func ReadSchedule(r io.Reader) (*schedule.Schedule, error) {
+	var f ScheduleFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	return &schedule.Schedule{Times: f.Times}, nil
+}
+
+// SaveResult archives an algorithm's outcome with its schedule.
+func SaveResult(path string, algorithm string, s *schedule.Schedule, lowerBound, commCost int64) error {
+	f := &ResultFile{
+		Version:    FormatVersion,
+		Algorithm:  algorithm,
+		Makespan:   s.Makespan(),
+		LowerBound: lowerBound,
+		CommCost:   commCost,
+		Times:      s.Times,
+	}
+	return saveTo(path, func(w io.Writer) error { return writeJSON(w, f) })
+}
+
+// LoadResult reads an archived result.
+func LoadResult(path string) (*ResultFile, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	var f ResultFile
+	if err := json.NewDecoder(bufio.NewReader(fd)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	return &f, nil
+}
+
+func writeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func saveTo(path string, write func(io.Writer) error) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(fd)
+	if err := write(bw); err != nil {
+		fd.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}

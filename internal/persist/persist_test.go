@@ -1,0 +1,166 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func sampleInstance(seed int64) *tm.Instance {
+	topo := topology.NewCluster(3, 4, 8)
+	return tm.UniformK(6, 2).Generate(xrand.New(seed), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := sampleInstance(1)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.NumNodes() != in.G.NumNodes() || got.G.NumEdges() != in.G.NumEdges() {
+		t.Fatalf("graph mismatch: %v vs %v", got.G, in.G)
+	}
+	if got.NumObjects != in.NumObjects || got.NumTxns() != in.NumTxns() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range in.Txns {
+		if got.Txns[i].Node != in.Txns[i].Node || len(got.Txns[i].Objects) != len(in.Txns[i].Objects) {
+			t.Fatalf("txn %d mismatch", i)
+		}
+		for j := range in.Txns[i].Objects {
+			if got.Txns[i].Objects[j] != in.Txns[i].Objects[j] {
+				t.Fatalf("txn %d object %d mismatch", i, j)
+			}
+		}
+	}
+	for o := range in.Home {
+		if got.Home[o] != in.Home[o] {
+			t.Fatalf("home %d mismatch", o)
+		}
+	}
+	// Distances survive (weighted bridges included).
+	for u := 0; u < in.G.NumNodes(); u++ {
+		for v := 0; v < in.G.NumNodes(); v++ {
+			if got.G.Dist(graph.NodeID(u), graph.NodeID(v)) != in.G.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("distance (%d,%d) changed", u, v)
+			}
+		}
+	}
+}
+
+func TestInstanceRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo := topology.NewSquareGrid(3 + r.Intn(4))
+		w := 2 + r.Intn(6)
+		k := 1 + r.Intn(minInt(w, 3))
+		in := tm.UniformK(w, k).Generate(r, topo.Graph(), graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+		var buf bytes.Buffer
+		if WriteInstance(&buf, in) != nil {
+			return false
+		}
+		got, err := ReadInstance(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Validate() == nil &&
+			got.NumTxns() == in.NumTxns() &&
+			got.G.NumEdges() == in.G.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := &schedule.Schedule{Times: []int64{3, 1, 4, 1, 5}}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Times) != 5 || got.Times[4] != 5 {
+		t.Fatalf("schedule mismatch: %v", got.Times)
+	}
+}
+
+func TestFileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	in := sampleInstance(2)
+	path := filepath.Join(dir, "instance.json")
+	if err := SaveInstance(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTxns() != in.NumTxns() {
+		t.Fatal("loaded instance differs")
+	}
+
+	s := &schedule.Schedule{Times: make([]int64, in.NumTxns())}
+	for i := range s.Times {
+		s.Times[i] = int64(i + 1)
+	}
+	rpath := filepath.Join(dir, "result.json")
+	if err := SaveResult(rpath, "greedy", s, 7, 42); err != nil {
+		t.Fatal(err)
+	}
+	res, err := LoadResult(rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "greedy" || res.Makespan != int64(in.NumTxns()) || res.LowerBound != 7 || res.CommCost != 42 {
+		t.Fatalf("result mismatch: %+v", res)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad version": `{"version":9,"nodes":1}`,
+		"bad edge":    `{"version":1,"nodes":2,"edges":[{"u":0,"v":5,"w":1}],"numObjects":0}`,
+		"self loop":   `{"version":1,"nodes":2,"edges":[{"u":1,"v":1,"w":1}],"numObjects":0}`,
+		"zero weight": `{"version":1,"nodes":2,"edges":[{"u":0,"v":1,"w":0}],"numObjects":0}`,
+		"not json":    `}{`,
+		"invalid txn": `{"version":1,"nodes":2,"edges":[{"u":0,"v":1,"w":1}],"numObjects":1,"home":[0],"txns":[{"node":7,"objects":[0]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadInstance(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadSchedule(strings.NewReader(`{"version":2,"times":[1]}`)); err == nil {
+		t.Fatal("bad schedule version accepted")
+	}
+	if _, err := LoadInstance(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadResult(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing result accepted")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

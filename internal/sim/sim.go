@@ -1,0 +1,203 @@
+// Package sim executes a schedule step by step under the synchronous
+// data-flow model of Section 2.1, independently of the algebraic
+// feasibility rules in package schedule. At every discrete step each node
+// receives objects, executes a transaction whose objects have all arrived,
+// and forwards objects toward their next requesters along shortest paths.
+//
+// The simulator is the ground truth for Definition 1: a schedule is
+// feasible iff Run completes without error, and the reported makespan and
+// communication cost are measured from the actual object movements. Tests
+// cross-check sim.Run against schedule.Validate on every algorithm.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// EventKind distinguishes trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventDepart: an object leaves a node toward its next requester.
+	EventDepart EventKind = iota
+	// EventArrive: an object reaches a requester's node.
+	EventArrive
+	// EventExecute: a transaction executes and commits.
+	EventExecute
+)
+
+// Event is one trace record.
+type Event struct {
+	Step   int64
+	Kind   EventKind
+	Object tm.ObjectID  // valid for depart/arrive
+	Txn    tm.TxnID     // valid for execute; destination txn for depart/arrive
+	From   graph.NodeID // depart: source node
+	To     graph.NodeID // depart/arrive: destination node
+	Node   graph.NodeID // execute: the executing node
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventDepart:
+		return fmt.Sprintf("t=%d obj%d departs %d→%d (for txn %d)", e.Step, e.Object, e.From, e.To, e.Txn)
+	case EventArrive:
+		return fmt.Sprintf("t=%d obj%d arrives at %d (for txn %d)", e.Step, e.Object, e.To, e.Txn)
+	default:
+		return fmt.Sprintf("t=%d txn %d executes at node %d", e.Step, e.Txn, e.Node)
+	}
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Makespan is the step at which the last transaction committed.
+	Makespan int64
+	// CommCost is the total distance traveled by all objects.
+	CommCost int64
+	// Executed counts committed transactions (equals the instance's
+	// transaction count on success).
+	Executed int
+	// ObjectDistance[o] is the distance object o traveled.
+	ObjectDistance []int64
+	// Events is the trace, present only when requested.
+	Events []Event
+}
+
+// Options configures a run.
+type Options struct {
+	// Trace records depart/arrive/execute events.
+	Trace bool
+	// MaxSteps aborts runaway simulations; 0 means derived from the
+	// schedule's makespan (which always suffices for feasible input).
+	MaxSteps int64
+}
+
+// Run simulates schedule s on instance in and verifies that every
+// transaction's objects are physically present when it executes. It
+// returns an error describing the first violation for infeasible
+// schedules.
+func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
+	if len(s.Times) != in.NumTxns() {
+		return nil, fmt.Errorf("sim: schedule has %d times for %d transactions", len(s.Times), in.NumTxns())
+	}
+	for i, t := range s.Times {
+		if t < 1 {
+			return nil, fmt.Errorf("sim: transaction %d scheduled at step %d < 1", i, t)
+		}
+	}
+	horizon := s.Makespan()
+	if opt.MaxSteps > 0 && horizon > opt.MaxSteps {
+		return nil, fmt.Errorf("sim: schedule makespan %d exceeds step limit %d", horizon, opt.MaxSteps)
+	}
+
+	// Per-object itinerary: the sequence of requesters in execution
+	// order. itinerary[o][i] is the ith transaction to receive object o.
+	itineraries := make([][]tm.TxnID, in.NumObjects)
+	for o := range itineraries {
+		itineraries[o] = s.Order(in, tm.ObjectID(o))
+	}
+
+	res := &Result{ObjectDistance: make([]int64, in.NumObjects)}
+	// Object state: where it is (or will arrive), and the index of the
+	// next itinerary stop it has been dispatched toward.
+	type objState struct {
+		node    graph.NodeID // current or destination node
+		arrives int64        // step at which it is present at node
+		next    int          // itinerary index the object is heading to / waiting at
+	}
+	objs := make([]objState, in.NumObjects)
+
+	dispatch := func(o int, from graph.NodeID, departStep int64) error {
+		it := itineraries[o]
+		st := &objs[o]
+		if st.next >= len(it) {
+			return nil // no further requester; object rests
+		}
+		dest := in.Txns[it[st.next]].Node
+		d := in.Dist(from, dest)
+		st.node = dest
+		st.arrives = departStep + d
+		if opt.Trace && d > 0 {
+			res.Events = append(res.Events,
+				Event{Step: departStep, Kind: EventDepart, Object: tm.ObjectID(o), Txn: it[st.next], From: from, To: dest},
+				Event{Step: st.arrives, Kind: EventArrive, Object: tm.ObjectID(o), Txn: it[st.next], To: dest})
+		}
+		res.CommCost += d
+		res.ObjectDistance[o] += d
+		return nil
+	}
+
+	// Step 0: every object departs home toward its first requester.
+	for o := 0; o < in.NumObjects; o++ {
+		objs[o] = objState{node: in.Home[o], arrives: 0, next: 0}
+		if err := dispatch(o, in.Home[o], 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Execute transactions in time order, verifying physical presence.
+	order := make([]tm.TxnID, in.NumTxns())
+	for i := range order {
+		order[i] = tm.TxnID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := s.Times[order[a]], s.Times[order[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return order[a] < order[b]
+	})
+
+	for _, id := range order {
+		txn := &in.Txns[id]
+		step := s.Times[id]
+		for _, o := range txn.Objects {
+			st := &objs[o]
+			it := itineraries[o]
+			if st.next >= len(it) || it[st.next] != id {
+				return nil, fmt.Errorf("sim: object %d is not headed to transaction %d at step %d (single-copy conflict: another requester executes concurrently or later-ordered)",
+					o, id, step)
+			}
+			if st.node != txn.Node {
+				return nil, fmt.Errorf("sim: object %d is at/heading to node %d, not transaction %d's node %d",
+					o, st.node, id, txn.Node)
+			}
+			if st.arrives > step {
+				return nil, fmt.Errorf("sim: object %d arrives at node %d only at step %d, but transaction %d executes at step %d",
+					o, txn.Node, st.arrives, id, step)
+			}
+		}
+		// Commit: forward each object to its next requester.
+		if opt.Trace {
+			res.Events = append(res.Events, Event{Step: step, Kind: EventExecute, Txn: id, Node: txn.Node})
+		}
+		res.Executed++
+		if step > res.Makespan {
+			res.Makespan = step
+		}
+		for _, o := range txn.Objects {
+			objs[o].next++
+			if err := dispatch(int(o), txn.Node, step); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for tests and examples that treat infeasibility as a
+// programming error.
+func MustRun(in *tm.Instance, s *schedule.Schedule, opt Options) *Result {
+	res, err := Run(in, s, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+func tinyInstance() *tm.Instance {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return tm.NewInstance(g, nil, 2, []tm.Txn{
+		{Node: 0, Objects: []tm.ObjectID{0}},
+		{Node: 1, Objects: []tm.ObjectID{0, 1}},
+		{Node: 3, Objects: []tm.ObjectID{1}},
+	}, []graph.NodeID{0, 3})
+}
+
+func TestRunFeasible(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	res, err := Run(in, s, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Makespan != 3 || res.Executed != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	// obj0 travels 0→1 (1 hop), obj1 travels 3→1 (2 hops).
+	if res.CommCost != 3 {
+		t.Fatalf("CommCost = %d, want 3", res.CommCost)
+	}
+	if res.ObjectDistance[0] != 1 || res.ObjectDistance[1] != 2 {
+		t.Fatalf("ObjectDistance = %v", res.ObjectDistance)
+	}
+}
+
+func TestRunRejectsLateObject(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 1, 4}}
+	if _, err := Run(in, s, Options{}); err == nil {
+		t.Fatal("simulator accepted an object arriving after execution")
+	}
+}
+
+func TestRunRejectsConflictTie(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{2, 2, 5}}
+	if _, err := Run(in, s, Options{}); err == nil {
+		t.Fatal("simulator accepted two simultaneous holders of one object")
+	}
+}
+
+func TestRunRejectsZeroTime(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{0, 2, 2}}
+	if _, err := Run(in, s, Options{}); err == nil {
+		t.Fatal("simulator accepted step 0")
+	}
+}
+
+func TestRunRejectsWrongLength(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	if _, err := Run(in, s, Options{}); err == nil {
+		t.Fatal("simulator accepted wrong-length schedule")
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	if _, err := Run(in, s, Options{MaxSteps: 2}); err == nil {
+		t.Fatal("step limit not enforced")
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	res, err := Run(in, s, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs, departs, arrives int
+	for _, e := range res.Events {
+		switch e.Kind {
+		case EventExecute:
+			execs++
+		case EventDepart:
+			departs++
+		case EventArrive:
+			arrives++
+		}
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("trace has %d executes, want 3", execs)
+	}
+	if departs != arrives || departs != 2 {
+		t.Fatalf("trace has %d departs / %d arrives, want 2/2", departs, arrives)
+	}
+	// Event strings mention the object for transfers.
+	found := false
+	for _, e := range res.Events {
+		if e.Kind == EventDepart && strings.Contains(e.String(), "obj") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no depart event mentions an object")
+	}
+}
+
+func TestMustRunPanicsOnInfeasible(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 1, 4}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun did not panic")
+		}
+	}()
+	MustRun(in, s, Options{})
+}
+
+// randomInstance and randomTimes feed the agreement property.
+func randomInstance(r *rand.Rand) *tm.Instance {
+	n := 3 + r.Intn(16)
+	w := 2 + r.Intn(6)
+	k := 1 + r.Intn(minInt(w, 3))
+	g := graph.New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[r.Intn(i)]), 1+r.Int63n(3))
+	}
+	return tm.UniformK(w, k).Generate(r, g, nil, g.Nodes(), tm.PlaceAtRandomUser)
+}
+
+// TestSimulatorAgreesWithValidateProperty is the keystone invariant: the
+// step-by-step simulator and the algebraic feasibility rules accept
+// exactly the same schedules. Random times are drawn in a small range so
+// both feasible and infeasible schedules occur.
+func TestSimulatorAgreesWithValidateProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r)
+		s := schedule.New(in.NumTxns())
+		horizon := int64(2*in.NumTxns() + 4)
+		for i := range s.Times {
+			s.Times[i] = 1 + r.Int63n(horizon)
+		}
+		algebraic := s.Validate(in) == nil
+		_, err := Run(in, s, Options{})
+		simulated := err == nil
+		return algebraic == simulated
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatorCommCostMatchesSchedule cross-checks the two independent
+// communication-cost computations on feasible schedules.
+func TestSimulatorCommCostMatchesSchedule(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r)
+		s := feasibleSchedule(r, in)
+		res, err := Run(in, s, Options{})
+		if err != nil {
+			return false
+		}
+		return res.CommCost == s.CommCost(in) && res.Makespan == s.Makespan()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func feasibleSchedule(r *rand.Rand, in *tm.Instance) *schedule.Schedule {
+	order := r.Perm(in.NumTxns())
+	relT := make([]int64, in.NumObjects)
+	relN := make([]graph.NodeID, in.NumObjects)
+	copy(relN, in.Home)
+	s := schedule.New(in.NumTxns())
+	for _, i := range order {
+		txn := &in.Txns[i]
+		var t int64 = 1
+		for _, o := range txn.Objects {
+			if need := relT[o] + in.Dist(relN[o], txn.Node); need > t {
+				t = need
+			}
+		}
+		// Random extra slack keeps schedules diverse but feasible.
+		t += r.Int63n(3)
+		s.Times[i] = t
+		for _, o := range txn.Objects {
+			relT[o] = t
+			relN[o] = txn.Node
+		}
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics over trial measurements, the
+// Chernoff bounds of Lemma 1 (used to sanity-check the paper's
+// concentration arguments empirically), least-squares fits for growth-rate
+// shape checks, and fixed-width table rendering for reproducible report
+// output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample of float64 measurements.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary; it returns the zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if n > 1 {
+		s.Std = math.Sqrt(ss / float64(n-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ChernoffUpper bounds Pr(X ≥ (1+δ)μ) ≤ exp(−δ²μ/3) for a sum X of
+// independent 0/1 variables with mean μ and 0 < δ < 1 (Lemma 1, Eq. 1).
+func ChernoffUpper(mu, delta float64) float64 {
+	return math.Exp(-delta * delta * mu / 3)
+}
+
+// ChernoffLower bounds Pr(X ≤ (1−δ)μ) ≤ exp(−δ²μ/2) (Lemma 1, Eq. 2).
+func ChernoffLower(mu, delta float64) float64 {
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// LinFit fits y ≈ a + b·x by least squares and returns (a, b, r²).
+// Passing log-transformed data yields power-law / logarithmic shape fits.
+func LinFit(x, y []float64) (a, b, r2 float64) {
+	n := float64(len(x))
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// r² = 1 − SSres/SStot.
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range x {
+		d := y[i] - (a + b*x[i])
+		ssRes += d * d
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2
+}
+
+// Table renders aligned fixed-width tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty. Use Fmt helpers for numbers.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := 0; i < len(t.header) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf formats each value with %v.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.2f", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table with a separator line under the header.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// CSV renders the table as comma-separated values (header + rows), with
+// cells containing commas or quotes quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

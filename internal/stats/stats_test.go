@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", s.P50)
+	}
+	if s.P90 != 9 {
+		t.Fatalf("P90 of {0,10} = %v, want 9", s.P90)
+	}
+}
+
+func TestSummarizeOrderInvariantProperty(t *testing.T) {
+	check := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		a := Summarize(xs)
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		b := Summarize(rev)
+		return a.N == b.N && a.Min == b.Min && a.Max == b.Max && a.P50 == b.P50
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	// Lemma 2's numbers: μ = 27·ln m, δ = 2/3 ⇒ both tails ≤ m^−4.
+	m := 100.0
+	mu := 27 * math.Log(m)
+	if up := ChernoffUpper(mu, 2.0/3.0); up > math.Pow(m, -4)*1.01 {
+		t.Fatalf("upper tail %v exceeds m^-4", up)
+	}
+	if lo := ChernoffLower(mu, 2.0/3.0); lo > math.Pow(m, -4)*1.01 {
+		t.Fatalf("lower tail %v exceeds m^-4", lo)
+	}
+	// Monotone in μ and δ.
+	if ChernoffUpper(10, 0.5) >= ChernoffUpper(5, 0.5) {
+		t.Fatal("upper bound not decreasing in μ")
+	}
+	if ChernoffLower(10, 0.9) >= ChernoffLower(10, 0.1) {
+		t.Fatal("lower bound not decreasing in δ")
+	}
+}
+
+func TestLinFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinFit(x, y)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("LinFit = (%v,%v,%v)", a, b, r2)
+	}
+}
+
+func TestLinFitDegenerate(t *testing.T) {
+	if _, b, _ := LinFit([]float64{2, 2, 2}, []float64{1, 5, 9}); b != 0 {
+		t.Fatalf("vertical data slope = %v", b)
+	}
+	if a, b, r2 := LinFit([]float64{1}, []float64{1}); a != 0 || b != 0 || r2 != 0 {
+		t.Fatal("short input not rejected")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("alg", "ratio")
+	tab.AddRowf("greedy", 1.25)
+	tab.AddRow("line")
+	out := tab.String()
+	if !strings.Contains(out, "greedy") || !strings.Contains(out, "1.25") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	// Extra cells are dropped, missing cells render empty.
+	tab.AddRow("a", "b", "c")
+	if strings.Contains(tab.String(), "c") {
+		t.Fatal("overflow cell not dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("plain", `quo"ted,cell`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b\n") || !strings.Contains(csv, `"quo""ted,cell"`) {
+		t.Fatalf("CSV wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,91 @@
+package tm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dtmsched/internal/graph"
+)
+
+// Blocked is the structural view shared by the Section 8 lower-bound
+// topologies (LBGrid and LBTree): s blocks H_1 … H_s of s×√s nodes each.
+type Blocked interface {
+	Graph() *graph.Graph
+	Dist(u, v graph.NodeID) int64
+	S() int
+	SqrtS() int
+	Block(id graph.NodeID) int
+	BlockNodes(b int) []graph.NodeID
+	ID(r, c int) graph.NodeID
+}
+
+// LBInstance is the Section 8 adversarial problem instance I_s together
+// with its bookkeeping. Objects 0 … s−1 are the A-objects (a_{i+1} is used
+// by every transaction of block i); objects s … 2s−1 are the B-objects,
+// one of which each transaction picks uniformly at random. Every
+// transaction therefore requests exactly k = 2 objects.
+type LBInstance struct {
+	*Instance
+	Topo Blocked
+}
+
+// AObject returns the object ID of a_{b+1}, the block-b common object.
+func (li *LBInstance) AObject(b int) ObjectID { return ObjectID(b) }
+
+// BObject returns the object ID of b_{i+1}, the ith B-object.
+func (li *LBInstance) BObject(i int) ObjectID { return ObjectID(li.Topo.S() + i) }
+
+// IsA reports whether o is an A-object.
+func (li *LBInstance) IsA(o ObjectID) bool { return int(o) < li.Topo.S() }
+
+// NewLBInstance builds I_s on the given blocked topology using r for the
+// per-transaction uniform B-object choices. Per the paper: every a_i starts
+// at the top-left corner node of H_1, and every b_i starts at a node of H_1
+// that uses it (or an arbitrary H_1 node when none does).
+func NewLBInstance(r *rand.Rand, topo Blocked) *LBInstance {
+	s := topo.S()
+	g := topo.Graph()
+	n := g.NumNodes()
+	if n != s*s*topo.SqrtS() {
+		panic(fmt.Sprintf("tm: blocked topology has %d nodes, want s^(5/2)=%d", n, s*s*topo.SqrtS()))
+	}
+	txns := make([]Txn, 0, n)
+	// bPick[v] is recorded so homes can be assigned afterwards.
+	bPick := make(map[graph.NodeID]ObjectID, n)
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		a := ObjectID(topo.Block(node))
+		b := ObjectID(s + r.Intn(s))
+		bPick[node] = b
+		objs := []ObjectID{a, b}
+		if a > b { // keep sorted (cannot happen: a < s ≤ b) — defensive
+			objs[0], objs[1] = objs[1], objs[0]
+		}
+		txns = append(txns, Txn{Node: node, Objects: objs})
+	}
+
+	home := make([]graph.NodeID, 2*s)
+	topLeft := topo.ID(0, 0)
+	for i := 0; i < s; i++ {
+		home[i] = topLeft // all A-objects start at H_1's top-left corner
+	}
+	h1 := topo.BlockNodes(0)
+	for i := 0; i < s; i++ {
+		b := ObjectID(s + i)
+		home[s+i] = h1[r.Intn(len(h1))] // fallback: arbitrary node of H_1
+		for _, v := range h1 {
+			if bPick[v] == b {
+				home[s+i] = v
+				break
+			}
+		}
+	}
+
+	in := NewInstance(g, metricOf(topo), 2*s, txns, home)
+	return &LBInstance{Instance: in, Topo: topo}
+}
+
+// metricOf adapts a Blocked topology's closed-form Dist to graph.Metric.
+func metricOf(topo Blocked) graph.Metric {
+	return graph.FuncMetric(func(u, v graph.NodeID) int64 { return topo.Dist(u, v) })
+}

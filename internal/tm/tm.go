@@ -1,0 +1,192 @@
+// Package tm defines the distributed transactional memory model of Busch,
+// Herlihy, Popovic, and Sharma (Section 2.1): a batch of transactions, one
+// per node of a communication graph, each requesting a set of mobile shared
+// objects that exist in a single copy. A transaction executes at its node
+// once all requested objects have been assembled there, then releases them.
+//
+// The package provides the problem-instance representation consumed by
+// every scheduler, plus workload generators for each scheduling problem the
+// paper studies (arbitrary k-subsets, uniform-random k-subsets, cluster-
+// local, hotspot/Zipf skew, and the Section 8 adversarial instances).
+package tm
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsched/internal/graph"
+)
+
+// ObjectID identifies a shared object o_1 … o_w (0-based).
+type ObjectID int
+
+// TxnID identifies a transaction (0-based, dense).
+type TxnID int
+
+// Txn is one transaction: an atomic code block residing at Node that needs
+// every object in Objects co-located before it can execute and commit.
+type Txn struct {
+	ID   TxnID
+	Node graph.NodeID
+	// Objects lists the distinct objects the transaction requests,
+	// in increasing order.
+	Objects []ObjectID
+}
+
+// Uses reports whether the transaction requests object o.
+func (t *Txn) Uses(o ObjectID) bool {
+	i := sort.Search(len(t.Objects), func(i int) bool { return t.Objects[i] >= o })
+	return i < len(t.Objects) && t.Objects[i] == o
+}
+
+// Instance is one batch scheduling problem: a communication graph, a
+// distance oracle over it, w shared objects with initial placements, and at
+// most one transaction per node.
+type Instance struct {
+	// G is the communication graph.
+	G *graph.Graph
+	// Metric is the distance oracle. Topology packages provide O(1)
+	// closed forms; G itself is always a valid fallback.
+	Metric graph.Metric
+	// NumObjects is w, the size of the object set O.
+	NumObjects int
+	// Txns holds the transactions; Txns[i].ID == TxnID(i).
+	Txns []Txn
+	// Home[o] is the node initially holding object o.
+	Home []graph.NodeID
+
+	users [][]TxnID // lazily built object → requesting-transaction index
+}
+
+// NewInstance assembles an instance and assigns dense transaction IDs. The
+// metric may be nil, in which case the graph itself is used.
+func NewInstance(g *graph.Graph, metric graph.Metric, numObjects int, txns []Txn, home []graph.NodeID) *Instance {
+	if metric == nil {
+		metric = g
+	}
+	for i := range txns {
+		txns[i].ID = TxnID(i)
+		sortObjects(txns[i].Objects)
+	}
+	return &Instance{G: g, Metric: metric, NumObjects: numObjects, Txns: txns, Home: home}
+}
+
+func sortObjects(objs []ObjectID) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+}
+
+// NumTxns returns the number of transactions m ≤ n.
+func (in *Instance) NumTxns() int { return len(in.Txns) }
+
+// Dist returns the shortest-path distance between two nodes.
+func (in *Instance) Dist(u, v graph.NodeID) int64 { return in.Metric.Dist(u, v) }
+
+// Users returns the IDs of the transactions requesting object o (the
+// paper's set A_i), in increasing ID order. The index is built on first use
+// and cached.
+func (in *Instance) Users(o ObjectID) []TxnID {
+	if in.users == nil {
+		in.buildUsers()
+	}
+	return in.users[o]
+}
+
+func (in *Instance) buildUsers() {
+	users := make([][]TxnID, in.NumObjects)
+	for i := range in.Txns {
+		for _, o := range in.Txns[i].Objects {
+			users[o] = append(users[o], TxnID(i))
+		}
+	}
+	in.users = users
+}
+
+// MaxUse returns ℓ = max_i |A_i|: the largest number of transactions
+// sharing a single object. Zero for an instance with no requests.
+func (in *Instance) MaxUse() int {
+	maxUse := 0
+	for o := 0; o < in.NumObjects; o++ {
+		if u := len(in.Users(ObjectID(o))); u > maxUse {
+			maxUse = u
+		}
+	}
+	return maxUse
+}
+
+// MaxK returns the largest per-transaction object count k.
+func (in *Instance) MaxK() int {
+	k := 0
+	for i := range in.Txns {
+		if len(in.Txns[i].Objects) > k {
+			k = len(in.Txns[i].Objects)
+		}
+	}
+	return k
+}
+
+// Validate checks the model's structural invariants:
+//   - at most one transaction per node, every node in range;
+//   - every requested object exists and appears once per transaction;
+//   - every object has a valid home node;
+//   - the graph is connected (objects must be able to reach every
+//     requester).
+func (in *Instance) Validate() error {
+	if in.G == nil {
+		return fmt.Errorf("tm: instance has no graph")
+	}
+	n := in.G.NumNodes()
+	if len(in.Txns) > n {
+		return fmt.Errorf("tm: %d transactions exceed %d nodes", len(in.Txns), n)
+	}
+	seen := make(map[graph.NodeID]TxnID, len(in.Txns))
+	for i := range in.Txns {
+		t := &in.Txns[i]
+		if t.ID != TxnID(i) {
+			return fmt.Errorf("tm: transaction %d has non-dense ID %d", i, t.ID)
+		}
+		if t.Node < 0 || int(t.Node) >= n {
+			return fmt.Errorf("tm: transaction %d at invalid node %d", i, t.Node)
+		}
+		if prev, dup := seen[t.Node]; dup {
+			return fmt.Errorf("tm: transactions %d and %d share node %d", prev, t.ID, t.Node)
+		}
+		seen[t.Node] = t.ID
+		for j, o := range t.Objects {
+			if o < 0 || int(o) >= in.NumObjects {
+				return fmt.Errorf("tm: transaction %d requests invalid object %d", i, o)
+			}
+			if j > 0 && t.Objects[j-1] >= o {
+				return fmt.Errorf("tm: transaction %d has unsorted or duplicate objects", i)
+			}
+		}
+	}
+	if len(in.Home) != in.NumObjects {
+		return fmt.Errorf("tm: %d home nodes for %d objects", len(in.Home), in.NumObjects)
+	}
+	for o, h := range in.Home {
+		if h < 0 || int(h) >= n {
+			return fmt.Errorf("tm: object %d homed at invalid node %d", o, h)
+		}
+	}
+	if !in.G.Connected() {
+		return fmt.Errorf("tm: communication graph is disconnected")
+	}
+	return nil
+}
+
+// TxnAt returns the transaction residing at node v, or nil when the node
+// hosts none.
+func (in *Instance) TxnAt(v graph.NodeID) *Txn {
+	for i := range in.Txns {
+		if in.Txns[i].Node == v {
+			return &in.Txns[i]
+		}
+	}
+	return nil
+}
+
+// String summarizes the instance.
+func (in *Instance) String() string {
+	return fmt.Sprintf("instance(%s, m=%d txns, w=%d objects, k≤%d)",
+		in.G, len(in.Txns), in.NumObjects, in.MaxK())
+}

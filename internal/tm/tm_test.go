@@ -1,0 +1,339 @@
+package tm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+func lineGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+func TestTxnUses(t *testing.T) {
+	txn := Txn{Objects: []ObjectID{1, 3, 5}}
+	for o, want := range map[ObjectID]bool{0: false, 1: true, 2: false, 3: true, 5: true, 6: false} {
+		if txn.Uses(o) != want {
+			t.Fatalf("Uses(%d) = %v, want %v", o, !want, want)
+		}
+	}
+}
+
+func TestNewInstanceSortsAndNumbers(t *testing.T) {
+	g := lineGraph(3)
+	txns := []Txn{
+		{Node: 0, Objects: []ObjectID{2, 0}},
+		{Node: 1, Objects: []ObjectID{1}},
+	}
+	in := NewInstance(g, nil, 3, txns, []graph.NodeID{0, 1, 2})
+	if in.Txns[0].ID != 0 || in.Txns[1].ID != 1 {
+		t.Fatal("IDs not densified")
+	}
+	if in.Txns[0].Objects[0] != 0 || in.Txns[0].Objects[1] != 2 {
+		t.Fatalf("objects not sorted: %v", in.Txns[0].Objects)
+	}
+	if in.Metric == nil {
+		t.Fatal("nil metric not defaulted to graph")
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestUsersIndexAndMaxUse(t *testing.T) {
+	g := lineGraph(4)
+	in := NewInstance(g, nil, 2, []Txn{
+		{Node: 0, Objects: []ObjectID{0}},
+		{Node: 1, Objects: []ObjectID{0, 1}},
+		{Node: 2, Objects: []ObjectID{0}},
+	}, []graph.NodeID{0, 1})
+	u0 := in.Users(0)
+	if len(u0) != 3 {
+		t.Fatalf("Users(0) = %v", u0)
+	}
+	if len(in.Users(1)) != 1 {
+		t.Fatalf("Users(1) = %v", in.Users(1))
+	}
+	if in.MaxUse() != 3 {
+		t.Fatalf("MaxUse = %d", in.MaxUse())
+	}
+	if in.MaxK() != 2 {
+		t.Fatalf("MaxK = %d", in.MaxK())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := lineGraph(3)
+	home := []graph.NodeID{0}
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"two txns one node", NewInstance(g, nil, 1, []Txn{{Node: 1, Objects: []ObjectID{0}}, {Node: 1, Objects: []ObjectID{0}}}, home)},
+		{"bad node", NewInstance(g, nil, 1, []Txn{{Node: 9, Objects: []ObjectID{0}}}, home)},
+		{"bad object", NewInstance(g, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{4}}}, home)},
+		{"bad home count", NewInstance(g, nil, 2, []Txn{{Node: 0, Objects: []ObjectID{0}}}, home)},
+		{"bad home node", NewInstance(g, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{7})},
+	}
+	for _, tc := range cases {
+		if err := tc.in.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted invalid instance", tc.name)
+		}
+	}
+	// Duplicate objects inside a transaction.
+	dup := &Instance{G: g, Metric: g, NumObjects: 1,
+		Txns: []Txn{{ID: 0, Node: 0, Objects: []ObjectID{0, 0}}}, Home: home}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate objects accepted")
+	}
+	// Disconnected graph.
+	dg := graph.New(2)
+	disc := NewInstance(dg, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{0})
+	if err := disc.Validate(); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestTxnAt(t *testing.T) {
+	g := lineGraph(3)
+	in := NewInstance(g, nil, 1, []Txn{{Node: 2, Objects: []ObjectID{0}}}, []graph.NodeID{2})
+	if in.TxnAt(2) == nil || in.TxnAt(0) != nil {
+		t.Fatal("TxnAt lookup broken")
+	}
+}
+
+func generate(t *testing.T, w Workload, n int, place Placement) *Instance {
+	t.Helper()
+	g := lineGraph(n)
+	r := rand.New(rand.NewSource(3))
+	in := w.Generate(r, g, nil, g.Nodes(), place)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%s: generated invalid instance: %v", w.Name, err)
+	}
+	return in
+}
+
+func TestUniformKWorkload(t *testing.T) {
+	in := generate(t, UniformK(10, 3), 20, PlaceAtRandomUser)
+	for i := range in.Txns {
+		if len(in.Txns[i].Objects) != 3 {
+			t.Fatalf("txn %d has %d objects", i, len(in.Txns[i].Objects))
+		}
+	}
+	// Homes must be at requesters (or anywhere for unrequested objects).
+	for o := 0; o < in.NumObjects; o++ {
+		users := in.Users(ObjectID(o))
+		if len(users) == 0 {
+			continue
+		}
+		found := false
+		for _, id := range users {
+			if in.Txns[id].Node == in.Home[o] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("object %d homed at %d, not at any requester", o, in.Home[o])
+		}
+	}
+}
+
+func TestPlaceAtFirstUserDeterministic(t *testing.T) {
+	in := generate(t, UniformK(6, 2), 12, PlaceAtFirstUser)
+	for o := 0; o < in.NumObjects; o++ {
+		users := in.Users(ObjectID(o))
+		if len(users) > 0 && in.Home[o] != in.Txns[users[0]].Node {
+			t.Fatalf("object %d not at first user", o)
+		}
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	in := generate(t, ZipfK(50, 2), 200, PlaceAtRandomUser)
+	// Object 0 should be far more popular than object 40.
+	if len(in.Users(0)) <= len(in.Users(40)) {
+		t.Fatalf("zipf not skewed: users(0)=%d users(40)=%d", len(in.Users(0)), len(in.Users(40)))
+	}
+}
+
+func TestHotspotEveryoneUsesObjectZero(t *testing.T) {
+	in := generate(t, HotspotK(10, 3), 15, PlaceAtRandomUser)
+	if len(in.Users(0)) != 15 {
+		t.Fatalf("hotspot object used by %d of 15", len(in.Users(0)))
+	}
+}
+
+func TestPartitionedKRespectsGroups(t *testing.T) {
+	// 4 groups of 5 objects; nodes assigned round-robin.
+	wl := PartitionedK(20, 2, 4, func(v graph.NodeID) int { return int(v) % 4 })
+	in := generate(t, wl, 16, PlaceAtRandomUser)
+	for i := range in.Txns {
+		grp := int(in.Txns[i].Node) % 4
+		for _, o := range in.Txns[i].Objects {
+			if int(o)/5 != grp {
+				t.Fatalf("txn %d (group %d) picked object %d", i, grp, o)
+			}
+		}
+	}
+}
+
+func TestPartitionedKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible groups")
+		}
+	}()
+	PartitionedK(10, 2, 3, func(graph.NodeID) int { return 0 })
+}
+
+func TestNeighborhoodKWindows(t *testing.T) {
+	n, w, win := 64, 64, 8
+	wl := NeighborhoodK(w, 2, n, win)
+	in := generate(t, wl, n, PlaceAtRandomUser)
+	for i := range in.Txns {
+		frac := float64(in.Txns[i].Node) / float64(n-1)
+		start := int(frac * float64(w-win))
+		for _, o := range in.Txns[i].Objects {
+			if int(o) < start-1 || int(o) > start+win {
+				t.Fatalf("txn at node %d picked object %d outside window [%d,%d)", in.Txns[i].Node, o, start, start+win)
+			}
+		}
+	}
+}
+
+func TestSingleObjectWorkload(t *testing.T) {
+	in := generate(t, SingleObject(), 8, PlaceAtRandomUser)
+	if in.NumObjects != 1 || in.MaxUse() != 8 {
+		t.Fatalf("single-object instance wrong: w=%d maxuse=%d", in.NumObjects, in.MaxUse())
+	}
+}
+
+func TestWorkloadPickCountMismatchPanics(t *testing.T) {
+	w := Workload{W: 4, K: 2, Name: "broken",
+		Pick: func(*rand.Rand, graph.NodeID) []ObjectID { return []ObjectID{0} }}
+	g := lineGraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong pick count")
+		}
+	}()
+	w.Generate(rand.New(rand.NewSource(1)), g, nil, g.Nodes(), PlaceAtRandomUser)
+}
+
+func TestWorkloadKExceedsWPanics(t *testing.T) {
+	g := lineGraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > w")
+		}
+	}()
+	UniformK(2, 3).Generate(rand.New(rand.NewSource(1)), g, nil, g.Nodes(), PlaceAtRandomUser)
+}
+
+func TestGeneratedObjectsAlwaysValidProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		w := 2 + r.Intn(20)
+		k := 1 + r.Intn(minInt(w, 4))
+		g := lineGraph(n)
+		in := UniformK(w, k).Generate(r, g, nil, g.Nodes(), PlaceAtRandomUser)
+		return in.Validate() == nil && in.MaxK() == k
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBInstanceStructure(t *testing.T) {
+	topo := topology.NewLBGrid(4)
+	r := xrand.New(5)
+	li := NewLBInstance(r, topo)
+	if err := li.Validate(); err != nil {
+		t.Fatalf("LB instance invalid: %v", err)
+	}
+	s := topo.S()
+	if li.NumObjects != 2*s {
+		t.Fatalf("w = %d, want %d", li.NumObjects, 2*s)
+	}
+	// Every transaction: exactly its block's A-object plus one B-object.
+	for i := range li.Txns {
+		objs := li.Txns[i].Objects
+		if len(objs) != 2 {
+			t.Fatalf("txn %d has %d objects", i, len(objs))
+		}
+		b := topo.Block(li.Txns[i].Node)
+		if objs[0] != li.AObject(b) {
+			t.Fatalf("txn %d in block %d uses A-object %d", i, b, objs[0])
+		}
+		if li.IsA(objs[1]) {
+			t.Fatalf("txn %d second object %d is an A-object", i, objs[1])
+		}
+	}
+	// A-objects are used by every transaction of their block.
+	for b := 0; b < s; b++ {
+		if got, want := len(li.Users(li.AObject(b))), s*topo.SqrtS(); got != want {
+			t.Fatalf("A-object %d used by %d txns, want %d", b, got, want)
+		}
+	}
+	// All homes are inside H_1; A-objects at the top-left corner.
+	for o := 0; o < li.NumObjects; o++ {
+		if topo.Block(li.Home[o]) != 0 {
+			t.Fatalf("object %d homed outside H_1", o)
+		}
+	}
+	for b := 0; b < s; b++ {
+		if li.Home[li.AObject(b)] != topo.ID(0, 0) {
+			t.Fatalf("A-object %d not at H_1 corner", b)
+		}
+	}
+	// B-objects sit at a requester in H_1 when one exists.
+	for i := 0; i < s; i++ {
+		o := li.BObject(i)
+		var h1Users []graph.NodeID
+		for _, id := range li.Users(o) {
+			if topo.Block(li.Txns[id].Node) == 0 {
+				h1Users = append(h1Users, li.Txns[id].Node)
+			}
+		}
+		if len(h1Users) == 0 {
+			continue
+		}
+		found := false
+		for _, v := range h1Users {
+			if v == li.Home[o] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("B-object %d has H_1 requesters but homed elsewhere in H_1", i)
+		}
+	}
+}
+
+func TestLBInstanceOnTree(t *testing.T) {
+	topo := topology.NewLBTree(4)
+	li := NewLBInstance(xrand.New(9), topo)
+	if err := li.Validate(); err != nil {
+		t.Fatalf("tree LB instance invalid: %v", err)
+	}
+	if li.NumTxns() != topo.Graph().NumNodes() {
+		t.Fatal("not one transaction per node")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

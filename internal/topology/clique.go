@@ -1,0 +1,53 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// Clique is the unweighted complete graph K_n of Section 3: every pair of
+// nodes is joined by an edge of weight 1.
+type Clique struct {
+	g *graph.Graph
+	n int
+}
+
+// NewClique builds K_n. n must be ≥ 1.
+func NewClique(n int) *Clique {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: clique size %d < 1", n))
+	}
+	g := graph.NewNamed(fmt.Sprintf("clique-%d", n), n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddUnitEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return &Clique{g: g, n: n}
+}
+
+// Graph returns the underlying graph.
+func (c *Clique) Graph() *graph.Graph { return c.g }
+
+// Kind returns KindClique.
+func (c *Clique) Kind() Kind { return KindClique }
+
+// N returns the number of nodes.
+func (c *Clique) N() int { return c.n }
+
+// Dist is 0 for u == v and 1 otherwise.
+func (c *Clique) Dist(u, v graph.NodeID) int64 {
+	if u == v {
+		return 0
+	}
+	return 1
+}
+
+// Diameter of a clique with ≥ 2 nodes is 1.
+func (c *Clique) Diameter() int64 {
+	if c.n <= 1 {
+		return 0
+	}
+	return 1
+}

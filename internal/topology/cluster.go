@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// ClusterGraph is the Section 6 topology: α disjoint cliques ("clusters")
+// of β nodes each with unit intra-cluster edges. Every cluster designates a
+// bridge node, and every pair of bridge nodes is joined by a bridge edge of
+// weight γ ≥ β ("the clusters are far apart").
+//
+// Node layout: cluster i occupies IDs [i*β, (i+1)*β); the bridge node of
+// cluster i is its first node, i*β.
+type ClusterGraph struct {
+	g       *graph.Graph
+	alpha   int
+	beta    int
+	gamma   int64
+	bridges []graph.NodeID
+}
+
+// NewCluster builds a cluster graph with alpha ≥ 1 clusters of beta ≥ 1
+// nodes and bridge weight gamma. The paper assumes gamma ≥ beta; the
+// constructor enforces gamma ≥ 1 and lets callers violate gamma ≥ beta
+// deliberately for sensitivity experiments.
+func NewCluster(alpha, beta int, gamma int64) *ClusterGraph {
+	if alpha < 1 || beta < 1 {
+		panic(fmt.Sprintf("topology: cluster %dx%d has empty dimension", alpha, beta))
+	}
+	if gamma < 1 {
+		panic(fmt.Sprintf("topology: bridge weight %d < 1", gamma))
+	}
+	n := alpha * beta
+	g := graph.NewNamed(fmt.Sprintf("cluster-%dx%d-g%d", alpha, beta, gamma), n)
+	bridges := make([]graph.NodeID, alpha)
+	for i := 0; i < alpha; i++ {
+		base := i * beta
+		bridges[i] = graph.NodeID(base)
+		for u := 0; u < beta; u++ {
+			for v := u + 1; v < beta; v++ {
+				g.AddUnitEdge(graph.NodeID(base+u), graph.NodeID(base+v))
+			}
+		}
+	}
+	for i := 0; i < alpha; i++ {
+		for j := i + 1; j < alpha; j++ {
+			g.AddEdge(bridges[i], bridges[j], gamma)
+		}
+	}
+	return &ClusterGraph{g: g, alpha: alpha, beta: beta, gamma: gamma, bridges: bridges}
+}
+
+// Graph returns the underlying graph.
+func (c *ClusterGraph) Graph() *graph.Graph { return c.g }
+
+// Kind returns KindCluster.
+func (c *ClusterGraph) Kind() Kind { return KindCluster }
+
+// Alpha returns the number of clusters.
+func (c *ClusterGraph) Alpha() int { return c.alpha }
+
+// Beta returns the nodes per cluster.
+func (c *ClusterGraph) Beta() int { return c.beta }
+
+// Gamma returns the bridge edge weight.
+func (c *ClusterGraph) Gamma() int64 { return c.gamma }
+
+// ClusterOf returns the cluster index of node u.
+func (c *ClusterGraph) ClusterOf(u graph.NodeID) int { return int(u) / c.beta }
+
+// Bridge returns the bridge node of cluster i.
+func (c *ClusterGraph) Bridge(i int) graph.NodeID { return c.bridges[i] }
+
+// Members returns the node IDs of cluster i in increasing order.
+func (c *ClusterGraph) Members(i int) []graph.NodeID {
+	out := make([]graph.NodeID, c.beta)
+	for j := range out {
+		out[j] = graph.NodeID(i*c.beta + j)
+	}
+	return out
+}
+
+// Dist is the closed-form shortest path: 1 within a cluster, and
+// hop-to-bridge + γ + bridge-to-hop across clusters. With β ≥ 2 and γ ≥ β,
+// routing through a third bridge (γ+γ) is never shorter than the direct
+// bridge edge (γ), so the formula below is exact under the paper's
+// assumption; for adversarial γ < 1 cases it still matches because bridge
+// edges form a clique.
+func (c *ClusterGraph) Dist(u, v graph.NodeID) int64 {
+	if u == v {
+		return 0
+	}
+	cu, cv := c.ClusterOf(u), c.ClusterOf(v)
+	if cu == cv {
+		return 1
+	}
+	var d int64 = c.gamma
+	if u != c.bridges[cu] {
+		d++
+	}
+	if v != c.bridges[cv] {
+		d++
+	}
+	return d
+}
+
+// Diameter is γ+2 across clusters (or the intra-cluster 1 when α == 1).
+func (c *ClusterGraph) Diameter() int64 {
+	if c.alpha == 1 {
+		if c.beta == 1 {
+			return 0
+		}
+		return 1
+	}
+	if c.beta == 1 {
+		return c.gamma
+	}
+	return c.gamma + 2
+}

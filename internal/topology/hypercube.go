@@ -1,0 +1,53 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dtmsched/internal/graph"
+)
+
+// Hypercube is the dim-dimensional boolean hypercube of Section 3.1:
+// n = 2^dim nodes, with an edge between nodes whose IDs differ in exactly
+// one bit. Shortest-path distance is Hamming distance, so the diameter is
+// dim = log₂ n.
+type Hypercube struct {
+	g   *graph.Graph
+	dim int
+}
+
+// NewHypercube builds the dim-dimensional hypercube, dim ≥ 0 (dim = 0 is a
+// single node).
+func NewHypercube(dim int) *Hypercube {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d out of range [0,30]", dim))
+	}
+	n := 1 << dim
+	g := graph.NewNamed(fmt.Sprintf("hypercube-%d", dim), n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.AddUnitEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return &Hypercube{g: g, dim: dim}
+}
+
+// Graph returns the underlying graph.
+func (h *Hypercube) Graph() *graph.Graph { return h.g }
+
+// Kind returns KindHypercube.
+func (h *Hypercube) Kind() Kind { return KindHypercube }
+
+// Dim returns the dimension (log₂ of the node count).
+func (h *Hypercube) Dim() int { return h.dim }
+
+// Dist is the Hamming distance between the node IDs.
+func (h *Hypercube) Dist(u, v graph.NodeID) int64 {
+	return int64(bits.OnesCount32(uint32(u) ^ uint32(v)))
+}
+
+// Diameter is dim.
+func (h *Hypercube) Diameter() int64 { return int64(h.dim) }

@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"dtmsched/internal/graph"
+)
+
+// LBGrid is the Section 8.1 lower-bound construction: an s×(s·√s) grid of
+// n = s^(5/2) nodes, divided into s blocks H_1 … H_s of s rows × √s columns
+// each. Edges inside a block have weight 1; adjacent blocks H_i, H_{i+1}
+// are connected row by row through horizontal edges of weight s, so the
+// distance between any two nodes in different blocks is at least s.
+//
+// s must be a perfect square so that √s is an integer. Node IDs are
+// row-major over the full s×(s√s) grid.
+type LBGrid struct {
+	g     *graph.Graph
+	s     int
+	sqrtS int
+}
+
+// NewLBGrid builds the construction for a perfect-square s ≥ 4.
+func NewLBGrid(s int) *LBGrid {
+	sq := intSqrt(s)
+	if s < 4 || sq*sq != s {
+		panic(fmt.Sprintf("topology: lbgrid parameter s=%d must be a perfect square ≥ 4", s))
+	}
+	rows, cols := s, s*sq
+	g := graph.NewNamed(fmt.Sprintf("lbgrid-s%d", s), rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				g.AddUnitEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols {
+				w := int64(1)
+				if (c+1)%sq == 0 { // crossing a block boundary
+					w = int64(s)
+				}
+				g.AddEdge(id(r, c), id(r, c+1), w)
+			}
+		}
+	}
+	return &LBGrid{g: g, s: s, sqrtS: sq}
+}
+
+// Graph returns the underlying graph.
+func (l *LBGrid) Graph() *graph.Graph { return l.g }
+
+// Kind returns KindLBGrid.
+func (l *LBGrid) Kind() Kind { return KindLBGrid }
+
+// S returns the construction parameter s (number of blocks, rows per block).
+func (l *LBGrid) S() int { return l.s }
+
+// SqrtS returns √s, the columns per block.
+func (l *LBGrid) SqrtS() int { return l.sqrtS }
+
+// Rows returns s.
+func (l *LBGrid) Rows() int { return l.s }
+
+// Cols returns s·√s.
+func (l *LBGrid) Cols() int { return l.s * l.sqrtS }
+
+// ID returns the node at global row r, global column c.
+func (l *LBGrid) ID(r, c int) graph.NodeID {
+	cols := l.Cols()
+	if r < 0 || r >= l.s || c < 0 || c >= cols {
+		panic(fmt.Sprintf("topology: lbgrid coordinate (%d,%d) out of range", r, c))
+	}
+	return graph.NodeID(r*cols + c)
+}
+
+// Coord returns the global (row, column) of node id.
+func (l *LBGrid) Coord(id graph.NodeID) (r, c int) {
+	cols := l.Cols()
+	return int(id) / cols, int(id) % cols
+}
+
+// Block returns the 0-based block index of node id (the paper's H_{i+1}).
+func (l *LBGrid) Block(id graph.NodeID) int {
+	_, c := l.Coord(id)
+	return c / l.sqrtS
+}
+
+// BlockNodes returns the node IDs of block b in row-major order.
+func (l *LBGrid) BlockNodes(b int) []graph.NodeID {
+	if b < 0 || b >= l.s {
+		panic(fmt.Sprintf("topology: lbgrid block %d out of range [0,%d)", b, l.s))
+	}
+	out := make([]graph.NodeID, 0, l.s*l.sqrtS)
+	for r := 0; r < l.s; r++ {
+		for c := b * l.sqrtS; c < (b+1)*l.sqrtS; c++ {
+			out = append(out, l.ID(r, c))
+		}
+	}
+	return out
+}
+
+// Dist is the closed-form shortest path: vertical steps cost 1, horizontal
+// steps cost 1 except block-boundary crossings which cost s. Every shortest
+// path is a monotone Manhattan path and column-step costs are independent
+// of the row, so the formula is exact.
+func (l *LBGrid) Dist(u, v graph.NodeID) int64 {
+	ur, uc := l.Coord(u)
+	vr, vc := l.Coord(v)
+	dr := abs64(int64(ur) - int64(vr))
+	lo, hi := uc, vc
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	crossings := int64(hi/l.sqrtS - lo/l.sqrtS)
+	unit := int64(hi-lo) - crossings
+	return dr + unit + crossings*int64(l.s)
+}
+
+// Diameter is (s−1) vertical + within-block and boundary horizontal costs
+// from corner to corner.
+func (l *LBGrid) Diameter() int64 {
+	return l.Dist(l.ID(0, 0), l.ID(l.s-1, l.Cols()-1))
+}
+
+func intSqrt(x int) int {
+	if x < 0 {
+		return -1
+	}
+	r := int(math.Sqrt(float64(x)))
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// LBTree is the Section 8.2 lower-bound construction on trees. It mirrors
+// LBGrid's block layout — s blocks of s rows × √s columns — but each block
+// is a tree: the leftmost column forms a vertical path, and each row forms
+// a horizontal path attached to the leftmost column. Adjacent blocks are
+// joined through their topmost rows by a single edge of weight s, keeping
+// the whole graph a tree.
+//
+// Node IDs use the same row-major layout as LBGrid.
+type LBTree struct {
+	g     *graph.Graph
+	s     int
+	sqrtS int
+}
+
+// NewLBTree builds the construction for a perfect-square s ≥ 4.
+func NewLBTree(s int) *LBTree {
+	sq := intSqrt(s)
+	if s < 4 || sq*sq != s {
+		panic(fmt.Sprintf("topology: lbtree parameter s=%d must be a perfect square ≥ 4", s))
+	}
+	rows, cols := s, s*sq
+	g := graph.NewNamed(fmt.Sprintf("lbtree-s%d", s), rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for b := 0; b < s; b++ {
+		c0 := b * sq
+		// Vertical spine: the block's leftmost column.
+		for r := 0; r+1 < rows; r++ {
+			g.AddUnitEdge(id(r, c0), id(r+1, c0))
+		}
+		// Horizontal rows attached to the spine.
+		for r := 0; r < rows; r++ {
+			for c := c0; c+1 < c0+sq; c++ {
+				g.AddUnitEdge(id(r, c), id(r, c+1))
+			}
+		}
+		// Bridge to the next block through the topmost row.
+		if b+1 < s {
+			g.AddEdge(id(0, c0+sq-1), id(0, (b+1)*sq), int64(s))
+		}
+	}
+	return &LBTree{g: g, s: s, sqrtS: sq}
+}
+
+// Graph returns the underlying graph.
+func (l *LBTree) Graph() *graph.Graph { return l.g }
+
+// Kind returns KindLBTree.
+func (l *LBTree) Kind() Kind { return KindLBTree }
+
+// S returns the construction parameter s.
+func (l *LBTree) S() int { return l.s }
+
+// SqrtS returns √s, the columns per block.
+func (l *LBTree) SqrtS() int { return l.sqrtS }
+
+// Rows returns s.
+func (l *LBTree) Rows() int { return l.s }
+
+// Cols returns s·√s.
+func (l *LBTree) Cols() int { return l.s * l.sqrtS }
+
+// ID returns the node at global row r, global column c.
+func (l *LBTree) ID(r, c int) graph.NodeID {
+	cols := l.Cols()
+	if r < 0 || r >= l.s || c < 0 || c >= cols {
+		panic(fmt.Sprintf("topology: lbtree coordinate (%d,%d) out of range", r, c))
+	}
+	return graph.NodeID(r*cols + c)
+}
+
+// Coord returns the global (row, column) of node id.
+func (l *LBTree) Coord(id graph.NodeID) (r, c int) {
+	cols := l.Cols()
+	return int(id) / cols, int(id) % cols
+}
+
+// Block returns the 0-based block index of node id.
+func (l *LBTree) Block(id graph.NodeID) int {
+	_, c := l.Coord(id)
+	return c / l.sqrtS
+}
+
+// BlockNodes returns the node IDs of block b in row-major order.
+func (l *LBTree) BlockNodes(b int) []graph.NodeID {
+	if b < 0 || b >= l.s {
+		panic(fmt.Sprintf("topology: lbtree block %d out of range [0,%d)", b, l.s))
+	}
+	out := make([]graph.NodeID, 0, l.s*l.sqrtS)
+	for r := 0; r < l.s; r++ {
+		for c := b * l.sqrtS; c < (b+1)*l.sqrtS; c++ {
+			out = append(out, l.ID(r, c))
+		}
+	}
+	return out
+}
+
+// Dist is the unique tree-path length, computed in closed form.
+//
+// Within a block, the unique path from (r1,c1) to (r2,c2) runs along row r1
+// to the spine, down the spine, and out along row r2 (collapsing when rows
+// or columns coincide). Across blocks the path additionally climbs to the
+// block's top-left corner, traverses top rows and weight-s bridges, and
+// descends symmetrically.
+func (l *LBTree) Dist(u, v graph.NodeID) int64 {
+	if u == v {
+		return 0
+	}
+	ur, uc := l.Coord(u)
+	vr, vc := l.Coord(v)
+	ub, vb := uc/l.sqrtS, vc/l.sqrtS
+	uco, vco := uc-ub*l.sqrtS, vc-vb*l.sqrtS // column offsets inside blocks
+	if ub == vb {
+		if ur == vr {
+			return abs64(int64(uco) - int64(vco))
+		}
+		return int64(uco) + abs64(int64(ur)-int64(vr)) + int64(vco)
+	}
+	if ub > vb {
+		ur, uc, ub, uco, vr, vc, vb, vco = vr, vc, vb, vco, ur, uc, ub, uco
+	}
+	// u's block to the top-right corner of its top row. When u is already
+	// in the top row the unique path runs right along the row; otherwise
+	// it goes to the spine, up, and across the whole top row.
+	var d int64
+	if ur == 0 {
+		d = int64(l.sqrtS - 1 - uco)
+	} else {
+		d = int64(uco) + int64(ur) + int64(l.sqrtS-1)
+	}
+	// Bridges and intermediate top rows.
+	d += int64(l.s) // first bridge
+	for b := ub + 1; b < vb; b++ {
+		d += int64(l.sqrtS-1) + int64(l.s)
+	}
+	// Down into v's block: arrive at (0, spine of vb).
+	d += int64(vr) + int64(vco)
+	return d
+}
+
+// Diameter is the tree path between the two bottom-extreme leaves of the
+// outermost blocks.
+func (l *LBTree) Diameter() int64 {
+	return l.Dist(l.ID(l.s-1, l.sqrtS-1), l.ID(l.s-1, l.Cols()-1))
+}

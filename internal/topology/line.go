@@ -1,0 +1,50 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// Line is the path graph of Section 4: nodes v_0 … v_{n-1} in left-to-right
+// orientation, with unit edges (v_i, v_{i+1}).
+type Line struct {
+	g *graph.Graph
+	n int
+}
+
+// NewLine builds a line (path) of n ≥ 1 nodes.
+func NewLine(n int) *Line {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: line size %d < 1", n))
+	}
+	g := graph.NewNamed(fmt.Sprintf("line-%d", n), n)
+	for i := 0; i+1 < n; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return &Line{g: g, n: n}
+}
+
+// Graph returns the underlying graph.
+func (l *Line) Graph() *graph.Graph { return l.g }
+
+// Kind returns KindLine.
+func (l *Line) Kind() Kind { return KindLine }
+
+// N returns the number of nodes.
+func (l *Line) N() int { return l.n }
+
+// Dist is |u − v|.
+func (l *Line) Dist(u, v graph.NodeID) int64 { return abs64(int64(u) - int64(v)) }
+
+// Diameter is n − 1.
+func (l *Line) Diameter() int64 { return int64(l.n - 1) }
+
+// Leftmost returns the smaller of two node IDs; the Line scheduler sweeps
+// left to right, so "leftmost" is the natural ordering primitive.
+func (l *Line) Leftmost(u, v graph.NodeID) graph.NodeID {
+	if u < v {
+		return u
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"testing"
+
+	"dtmsched/internal/graph"
+)
+
+func TestMultiGridStructure(t *testing.T) {
+	m := NewMultiGrid(3, 4, 2)
+	g := m.Graph()
+	if g.NumNodes() != 24 {
+		t.Fatalf("3x4x2 multigrid has %d nodes", g.NumNodes())
+	}
+	// Edges: axis0: 2*4*2=16, axis1: 3*3*2=18, axis2: 3*4*1=12 → 46.
+	if g.NumEdges() != 46 {
+		t.Fatalf("3x4x2 multigrid has %d edges, want 46", g.NumEdges())
+	}
+	checkMetric(t, m)
+	checkDiameter(t, m)
+	for id := 0; id < 24; id++ {
+		c := m.Coord(graph.NodeID(id))
+		if m.ID(c...) != graph.NodeID(id) {
+			t.Fatalf("coord round-trip failed for %d: %v", id, c)
+		}
+	}
+}
+
+func TestMultiGridMatchesGrid2D(t *testing.T) {
+	m := NewMultiGrid(4, 5)
+	g2 := NewGrid(4, 5)
+	if m.Graph().NumEdges() != g2.Graph().NumEdges() {
+		t.Fatalf("2D multigrid edges %d != grid edges %d", m.Graph().NumEdges(), g2.Graph().NumEdges())
+	}
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 20; v++ {
+			if m.Dist(graph.NodeID(u), graph.NodeID(v)) != g2.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("Dist mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestMultiGridMatchesHypercube(t *testing.T) {
+	// A 2×2×2×2 multigrid is the 4-dimensional hypercube (up to node
+	// relabeling; same edge count and diameter).
+	m := NewMultiGrid(2, 2, 2, 2)
+	h := NewHypercube(4)
+	if m.Graph().NumEdges() != h.Graph().NumEdges() {
+		t.Fatalf("multigrid edges %d != hypercube edges %d", m.Graph().NumEdges(), h.Graph().NumEdges())
+	}
+	if m.Diameter() != h.Diameter() {
+		t.Fatalf("multigrid diameter %d != hypercube %d", m.Diameter(), h.Diameter())
+	}
+	checkMetric(t, m)
+}
+
+func TestMultiGridSingleDim(t *testing.T) {
+	// A 1-dimensional multigrid is a line.
+	m := NewMultiGrid(7)
+	l := NewLine(7)
+	for u := 0; u < 7; u++ {
+		for v := 0; v < 7; v++ {
+			if m.Dist(graph.NodeID(u), graph.NodeID(v)) != l.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatal("1D multigrid is not a line")
+			}
+		}
+	}
+}
+
+func TestMultiGridPanics(t *testing.T) {
+	t.Run("no dims", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewMultiGrid()
+	})
+	t.Run("bad dim", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewMultiGrid(3, 0)
+	})
+	t.Run("bad coord", func(t *testing.T) {
+		m := NewMultiGrid(2, 2)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		m.ID(1, 2)
+	})
+}

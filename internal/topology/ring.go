@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// Ring is the n-node cycle: the wraparound variant of the Line, modeling
+// token-ring buses and chassis interconnects. The greedy schedule applies
+// with diameter ⌊n/2⌋; the Line algorithm's decomposition also carries
+// over by cutting the ring at any point (the facade uses greedy).
+type Ring struct {
+	g *graph.Graph
+	n int
+}
+
+// NewRing builds the n-node cycle, n ≥ 3.
+func NewRing(n int) *Ring {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: ring size %d < 3", n))
+	}
+	g := graph.NewNamed(fmt.Sprintf("ring-%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return &Ring{g: g, n: n}
+}
+
+// Graph returns the underlying graph.
+func (r *Ring) Graph() *graph.Graph { return r.g }
+
+// Kind reports KindLine: the ring is the line's wraparound sibling.
+func (r *Ring) Kind() Kind { return KindLine }
+
+// N returns the node count.
+func (r *Ring) N() int { return r.n }
+
+// Dist is the shorter way around.
+func (r *Ring) Dist(u, v graph.NodeID) int64 {
+	d := abs64(int64(u) - int64(v))
+	if w := int64(r.n) - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Diameter is ⌊n/2⌋.
+func (r *Ring) Diameter() int64 { return int64(r.n / 2) }

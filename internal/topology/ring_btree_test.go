@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtmsched/internal/graph"
+)
+
+func TestRingStructure(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 10} {
+		r := NewRing(n)
+		if r.Graph().NumEdges() != n {
+			t.Fatalf("ring-%d has %d edges", n, r.Graph().NumEdges())
+		}
+		checkMetric(t, r)
+		checkDiameter(t, r)
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(2)
+}
+
+func TestBTreeStructure(t *testing.T) {
+	b := NewBTree(2, 3) // 15 nodes
+	if b.Graph().NumNodes() != 15 || b.Graph().NumEdges() != 14 {
+		t.Fatalf("btree has n=%d m=%d", b.Graph().NumNodes(), b.Graph().NumEdges())
+	}
+	if !b.Graph().Connected() {
+		t.Fatal("btree disconnected")
+	}
+	checkMetric(t, b)
+	checkDiameter(t, b)
+	if b.Level(0) != 0 || b.Level(1) != 1 || b.Level(14) != 3 {
+		t.Fatalf("levels wrong: %d %d %d", b.Level(0), b.Level(1), b.Level(14))
+	}
+	if b.Parent(0) != 0 || b.Parent(5) != 2 {
+		t.Fatal("parents wrong")
+	}
+}
+
+func TestBTreeTernary(t *testing.T) {
+	b := NewBTree(3, 2) // 1 + 3 + 9 = 13 nodes
+	if b.Graph().NumNodes() != 13 {
+		t.Fatalf("3-ary depth-2 tree has %d nodes", b.Graph().NumNodes())
+	}
+	checkMetric(t, b)
+	checkDiameter(t, b)
+}
+
+func TestBTreeSingleRoot(t *testing.T) {
+	b := NewBTree(2, 0)
+	if b.Graph().NumNodes() != 1 || b.Diameter() != 0 {
+		t.Fatal("depth-0 tree wrong")
+	}
+}
+
+func TestBTreePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"branching": func() { NewBTree(1, 2) },
+		"depth":     func() { NewBTree(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Cross-check the BTree metric on a bigger asymmetric case against BFS.
+func TestBTreeMetricLarger(t *testing.T) {
+	b := NewBTree(4, 3)
+	m := graph.FuncMetric(b.Dist)
+	if u, v, want, got, ok := graph.CheckMetricAgrees(b.Graph(), m); !ok {
+		t.Fatalf("Dist(%d,%d) = %d, want %d", u, v, got, want)
+	}
+}
+
+func TestStretchProperties(t *testing.T) {
+	r := newTestRand(5)
+	base := NewCluster(3, 4, 8)
+	st := Stretch(r, base, 4)
+	if st.Graph().NumEdges() != base.Graph().NumEdges() {
+		t.Fatalf("stretch changed edge count: %d vs %d", st.Graph().NumEdges(), base.Graph().NumEdges())
+	}
+	checkMetric(t, st) // closed form is the graph itself; must be self-consistent
+	if st.Factor() != 4 || st.Base() != Topology(base) || st.Kind() != base.Kind() {
+		t.Fatal("stretch metadata wrong")
+	}
+	if s := st.Synchronicity(); s < 1 || s > 4*8 {
+		t.Fatalf("synchronicity %v out of range", s)
+	}
+	// Distances never shrink under stretching.
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			if st.Dist(graph.NodeID(u), graph.NodeID(v)) < base.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("stretch shrank Dist(%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestStretchFactorOneIdentity(t *testing.T) {
+	r := newTestRand(6)
+	base := NewLine(10)
+	st := Stretch(r, base, 1)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if st.Dist(graph.NodeID(u), graph.NodeID(v)) != base.Dist(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatal("factor-1 stretch changed distances")
+			}
+		}
+	}
+}
+
+func TestStretchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stretch(newTestRand(7), NewLine(4), 0)
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// Star is the Section 7 topology: a center node s and α rays, each ray a
+// line of β nodes whose tip is adjacent to s. All edges have weight 1.
+//
+// Node layout: node 0 is the center; ray r (0-based) occupies IDs
+// 1 + r*β … 1 + r*β + (β−1), ordered by distance from the center, so the
+// node at "position" p ∈ [1, β] of ray r is at distance p from s.
+type Star struct {
+	g     *graph.Graph
+	alpha int
+	beta  int
+}
+
+// NewStar builds a star with alpha ≥ 1 rays of beta ≥ 1 nodes.
+func NewStar(alpha, beta int) *Star {
+	if alpha < 1 || beta < 1 {
+		panic(fmt.Sprintf("topology: star %dx%d has empty dimension", alpha, beta))
+	}
+	n := 1 + alpha*beta
+	g := graph.NewNamed(fmt.Sprintf("star-%dx%d", alpha, beta), n)
+	for r := 0; r < alpha; r++ {
+		base := 1 + r*beta
+		g.AddUnitEdge(0, graph.NodeID(base))
+		for p := 0; p+1 < beta; p++ {
+			g.AddUnitEdge(graph.NodeID(base+p), graph.NodeID(base+p+1))
+		}
+	}
+	return &Star{g: g, alpha: alpha, beta: beta}
+}
+
+// Graph returns the underlying graph.
+func (s *Star) Graph() *graph.Graph { return s.g }
+
+// Kind returns KindStar.
+func (s *Star) Kind() Kind { return KindStar }
+
+// Alpha returns the number of rays.
+func (s *Star) Alpha() int { return s.alpha }
+
+// Beta returns the nodes per ray.
+func (s *Star) Beta() int { return s.beta }
+
+// Center returns the center node's ID (always 0).
+func (s *Star) Center() graph.NodeID { return 0 }
+
+// RayOf returns the ray index of u and its 1-based position (distance from
+// the center). The center itself reports ray −1, position 0.
+func (s *Star) RayOf(u graph.NodeID) (ray, pos int) {
+	if u == 0 {
+		return -1, 0
+	}
+	i := int(u) - 1
+	return i / s.beta, i%s.beta + 1
+}
+
+// ID returns the node at 1-based position pos of ray r.
+func (s *Star) ID(r, pos int) graph.NodeID {
+	if r < 0 || r >= s.alpha || pos < 1 || pos > s.beta {
+		panic(fmt.Sprintf("topology: star coordinate (ray %d, pos %d) out of range", r, pos))
+	}
+	return graph.NodeID(1 + r*s.beta + pos - 1)
+}
+
+// Dist: within a ray it is |p_u − p_v|; across rays (or to the center) the
+// route passes through the center, giving p_u + p_v.
+func (s *Star) Dist(u, v graph.NodeID) int64 {
+	if u == v {
+		return 0
+	}
+	ru, pu := s.RayOf(u)
+	rv, pv := s.RayOf(v)
+	if ru == rv && ru >= 0 {
+		return abs64(int64(pu) - int64(pv))
+	}
+	return int64(pu) + int64(pv)
+}
+
+// Diameter is 2β for α ≥ 2 rays (tip to tip), β for a single ray.
+func (s *Star) Diameter() int64 {
+	if s.alpha == 1 {
+		return int64(s.beta)
+	}
+	return 2 * int64(s.beta)
+}
+
+// Segment identifies one exponentially sized ray piece of the Section 7
+// decomposition: segment i (1-based) of a ray holds positions
+// 2^(i−1) … 2^i − 1, with the last segment truncated at β.
+type Segment struct {
+	Index    int // 1-based segment index i
+	Ray      int // ray index
+	Lo, Hi   int // 1-based position range [Lo, Hi], inclusive
+	Distance int // distance of the segment's nearest node to the center: 2^(i−1)
+}
+
+// Nodes returns the node IDs of the segment, nearest-to-center first.
+func (sg Segment) Nodes(s *Star) []graph.NodeID {
+	out := make([]graph.NodeID, 0, sg.Hi-sg.Lo+1)
+	for p := sg.Lo; p <= sg.Hi; p++ {
+		out = append(out, s.ID(sg.Ray, p))
+	}
+	return out
+}
+
+// NumSegments returns η = ⌈log₂ β⌉ segments per ray (minimum 1).
+func (s *Star) NumSegments() int {
+	eta := 0
+	for (1 << eta) <= s.beta {
+		eta++
+	}
+	if eta < 1 {
+		eta = 1
+	}
+	return eta
+}
+
+// Segments returns the ith (1-based) segment of every ray. Segments past
+// the end of short rays are empty and omitted.
+func (s *Star) Segments(i int) []Segment {
+	lo := 1 << (i - 1)
+	hi := 1<<i - 1
+	if hi > s.beta {
+		hi = s.beta
+	}
+	if lo > s.beta {
+		return nil
+	}
+	out := make([]Segment, 0, s.alpha)
+	for r := 0; r < s.alpha; r++ {
+		out = append(out, Segment{Index: i, Ray: r, Lo: lo, Hi: hi, Distance: lo})
+	}
+	return out
+}

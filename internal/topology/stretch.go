@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dtmsched/internal/graph"
+)
+
+// Stretched wraps a topology whose edge weights have been scaled by
+// per-edge factors in [1, factor] — the paper's Section 9 remark that in
+// a not-completely-synchronous system "our bounds are affected by the
+// synchronicity factor (maximum delay divided by minimum delay)". A
+// Stretched topology models that asynchrony as heterogeneous link delays;
+// experiment E17 measures how the schedulers' ratios degrade with it.
+//
+// Distances are served by the stretched graph's shortest paths (closed
+// forms do not survive random scaling).
+type Stretched struct {
+	g      *graph.Graph
+	base   Topology
+	factor int64
+}
+
+// Stretch rebuilds t's graph with every edge weight multiplied by an
+// independent uniform integer factor in [1, factor]. factor = 1 returns
+// an identical copy.
+func Stretch(r *rand.Rand, t Topology, factor int64) *Stretched {
+	if factor < 1 {
+		panic(fmt.Sprintf("topology: stretch factor %d < 1", factor))
+	}
+	base := t.Graph()
+	n := base.NumNodes()
+	g := graph.NewNamed(fmt.Sprintf("%s-stretch%d", base.Name(), factor), n)
+	for u := 0; u < n; u++ {
+		for _, e := range base.SortedNeighbors(graph.NodeID(u)) {
+			if int(e.To) < u {
+				continue // add each undirected edge once
+			}
+			w := e.Weight * (1 + r.Int63n(factor))
+			g.AddEdge(graph.NodeID(u), e.To, w)
+		}
+	}
+	return &Stretched{g: g, base: t, factor: factor}
+}
+
+// Graph returns the stretched graph.
+func (s *Stretched) Graph() *graph.Graph { return s.g }
+
+// Kind reports the base topology's kind.
+func (s *Stretched) Kind() Kind { return s.base.Kind() }
+
+// Base returns the topology that was stretched.
+func (s *Stretched) Base() Topology { return s.base }
+
+// Factor returns the maximum per-edge scaling factor.
+func (s *Stretched) Factor() int64 { return s.factor }
+
+// Dist delegates to the stretched graph's shortest paths.
+func (s *Stretched) Dist(u, v graph.NodeID) int64 { return s.g.Dist(u, v) }
+
+// Synchronicity returns the realized max/min edge-delay ratio.
+func (s *Stretched) Synchronicity() float64 {
+	var lo, hi int64
+	for u := 0; u < s.g.NumNodes(); u++ {
+		for _, e := range s.g.Neighbors(graph.NodeID(u)) {
+			if lo == 0 || e.Weight < lo {
+				lo = e.Weight
+			}
+			if e.Weight > hi {
+				hi = e.Weight
+			}
+		}
+	}
+	if lo == 0 {
+		return 1
+	}
+	return float64(hi) / float64(lo)
+}

@@ -1,0 +1,87 @@
+// Package topology generates the specialized communication graphs studied
+// in "Fast Scheduling in Distributed Transactional Memory" (Busch, Herlihy,
+// Popovic, Sharma; SPAA 2017): Clique, Line, Grid, Cluster, Hypercube,
+// Butterfly, and Star, plus the Torus and the §8 lower-bound block grid and
+// block tree constructions.
+//
+// Each generator returns a typed topology value exposing the underlying
+// *graph.Graph together with the structural metadata its scheduler needs
+// (coordinates, cluster membership, ray segments, block indices). Where a
+// closed-form shortest-path distance exists, the topology implements
+// graph.Metric in O(1) so large instances never run all-pairs searches.
+package topology
+
+import "dtmsched/internal/graph"
+
+// Kind enumerates the topology families in the paper.
+type Kind int
+
+// Topology kinds, in the order the paper treats them.
+const (
+	KindClique Kind = iota
+	KindHypercube
+	KindButterfly
+	KindLine
+	KindGrid
+	KindCluster
+	KindStar
+	KindTorus
+	KindLBGrid
+	KindLBTree
+)
+
+var kindNames = map[Kind]string{
+	KindClique:    "clique",
+	KindHypercube: "hypercube",
+	KindButterfly: "butterfly",
+	KindLine:      "line",
+	KindGrid:      "grid",
+	KindCluster:   "cluster",
+	KindStar:      "star",
+	KindTorus:     "torus",
+	KindLBGrid:    "lbgrid",
+	KindLBTree:    "lbtree",
+}
+
+// String returns the lowercase topology name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Topology is the common view over every generated network.
+type Topology interface {
+	// Graph returns the underlying communication graph.
+	Graph() *graph.Graph
+	// Kind identifies the topology family.
+	Kind() Kind
+	// Dist returns the shortest-path distance between two nodes; all
+	// topologies satisfy graph.Metric either in closed form or by
+	// delegating to the graph.
+	Dist(u, v graph.NodeID) int64
+}
+
+// Diameter returns the exact diameter of t's graph. Topologies with a
+// closed-form diameter override this through the Diameterer interface.
+func Diameter(t Topology) int64 {
+	if d, ok := t.(Diameterer); ok {
+		return d.Diameter()
+	}
+	return t.Graph().Diameter()
+}
+
+// Diameterer is implemented by topologies that know their diameter in
+// closed form.
+type Diameterer interface {
+	Diameter() int64
+}
+
+// abs64 is a helper shared across the closed-form metrics.
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,71 @@
+package topology
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+)
+
+// Torus is a rows×cols mesh with wraparound edges (a k-ary 2-cube), a
+// common NoC variant of the grid. It is included beyond the paper's list as
+// an extension topology: the grid scheduler applies unchanged, and the
+// wraparound halves distances.
+type Torus struct {
+	g          *graph.Graph
+	rows, cols int
+}
+
+// NewTorus builds a rows×cols torus; both dimensions must be ≥ 3 so that
+// wraparound edges are distinct from mesh edges.
+func NewTorus(rows, cols int) *Torus {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("topology: torus %dx%d needs both dimensions ≥ 3", rows, cols))
+	}
+	g := graph.NewNamed(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddUnitEdge(id(r, c), id(r, (c+1)%cols))
+			g.AddUnitEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return &Torus{g: g, rows: rows, cols: cols}
+}
+
+// Graph returns the underlying graph.
+func (t *Torus) Graph() *graph.Graph { return t.g }
+
+// Kind returns KindTorus.
+func (t *Torus) Kind() Kind { return KindTorus }
+
+// Rows returns the number of rows.
+func (t *Torus) Rows() int { return t.rows }
+
+// Cols returns the number of columns.
+func (t *Torus) Cols() int { return t.cols }
+
+// ID returns the node at row r, column c.
+func (t *Torus) ID(r, c int) graph.NodeID { return graph.NodeID(r*t.cols + c) }
+
+// Coord returns the (row, column) of node id.
+func (t *Torus) Coord(id graph.NodeID) (r, c int) {
+	return int(id) / t.cols, int(id) % t.cols
+}
+
+// Dist is the wraparound Manhattan distance.
+func (t *Torus) Dist(u, v graph.NodeID) int64 {
+	ur, uc := t.Coord(u)
+	vr, vc := t.Coord(v)
+	dr := abs64(int64(ur) - int64(vr))
+	if w := int64(t.rows) - dr; w < dr {
+		dr = w
+	}
+	dc := abs64(int64(uc) - int64(vc))
+	if w := int64(t.cols) - dc; w < dc {
+		dc = w
+	}
+	return dr + dc
+}
+
+// Diameter is ⌊rows/2⌋ + ⌊cols/2⌋.
+func (t *Torus) Diameter() int64 { return int64(t.rows/2) + int64(t.cols/2) }

@@ -1,0 +1,305 @@
+// Package tsp bounds the shortest walks and TSP tours that objects follow
+// through the communication graph. The paper's execution-time lower bounds
+// rest on the longest shortest walk of any object (the walk starts at the
+// object's home and visits every requesting transaction); optimal TSP tour
+// lengths are within a factor two of shortest walks.
+//
+// All routines work over an abstract graph.Metric, which satisfies the
+// triangle inequality because it is a shortest-path metric. Small site
+// sets are solved exactly with Held–Karp dynamic programming; larger sets
+// get certified bounds: MST weight ≤ optimal walk ≤ optimal tour ≤ 2·MST,
+// with a nearest-neighbor + 2-opt heuristic tightening the upper side.
+package tsp
+
+import (
+	"math"
+
+	"dtmsched/internal/graph"
+)
+
+// ExactLimit is the largest number of sites solved exactly by Held–Karp;
+// beyond it, Walk and Tour return certified bounds instead.
+const ExactLimit = 16
+
+// Bounds brackets an optimal length: LB ≤ OPT ≤ UB. Exact results have
+// LB == UB.
+type Bounds struct {
+	LB, UB int64
+	// Exact is true when the bounds come from exhaustive dynamic
+	// programming rather than MST/heuristic estimates.
+	Exact bool
+}
+
+// Walk bounds the shortest walk that starts at home and visits every node
+// in sites (an open Hamiltonian path on the metric completion, fixed
+// start). Duplicate sites and sites equal to home are harmless.
+func Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
+	sites = dedupe(sites, home)
+	q := len(sites)
+	switch {
+	case q == 0:
+		return Bounds{Exact: true}
+	case q == 1:
+		d := m.Dist(home, sites[0])
+		return Bounds{LB: d, UB: d, Exact: true}
+	case q <= ExactLimit:
+		opt := heldKarpPath(m, home, sites)
+		return Bounds{LB: opt, UB: opt, Exact: true}
+	}
+	all := append([]graph.NodeID{home}, sites...)
+	mst := MSTWeight(m, all)
+	path := nearestNeighborPath(m, home, sites)
+	path = twoOptPath(m, home, path)
+	ub := pathLen(m, home, path)
+	if double := 2 * mst; double < ub {
+		ub = double
+	}
+	return Bounds{LB: mst, UB: ub}
+}
+
+// Tour bounds the optimal closed TSP tour through all sites (no fixed
+// start). The paper's Theorem 6 measures objects' TSP tour lengths.
+func Tour(m graph.Metric, sites []graph.NodeID) Bounds {
+	sites = dedupe(sites, -1)
+	q := len(sites)
+	switch {
+	case q <= 1:
+		return Bounds{Exact: true}
+	case q == 2:
+		d := 2 * m.Dist(sites[0], sites[1])
+		return Bounds{LB: d, UB: d, Exact: true}
+	case q <= ExactLimit:
+		opt := heldKarpTour(m, sites)
+		return Bounds{LB: opt, UB: opt, Exact: true}
+	}
+	mst := MSTWeight(m, sites)
+	path := nearestNeighborPath(m, sites[0], sites[1:])
+	path = twoOptPath(m, sites[0], path)
+	var ub int64 = m.Dist(sites[0], path[len(path)-1])
+	ub += pathLen(m, sites[0], path)
+	if double := 2 * mst; double < ub {
+		ub = double
+	}
+	return Bounds{LB: mst, UB: ub}
+}
+
+// MSTWeight returns the minimum spanning tree weight over sites under
+// metric m, via Prim's algorithm in O(q²) time and O(q) space.
+func MSTWeight(m graph.Metric, sites []graph.NodeID) int64 {
+	q := len(sites)
+	if q <= 1 {
+		return 0
+	}
+	const inf = int64(math.MaxInt64)
+	inTree := make([]bool, q)
+	best := make([]int64, q)
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	var total int64
+	for iter := 0; iter < q; iter++ {
+		u, bu := -1, inf
+		for i := 0; i < q; i++ {
+			if !inTree[i] && best[i] < bu {
+				u, bu = i, best[i]
+			}
+		}
+		inTree[u] = true
+		total += bu
+		for i := 0; i < q; i++ {
+			if !inTree[i] {
+				if d := m.Dist(sites[u], sites[i]); d < best[i] {
+					best[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// heldKarpPath solves the fixed-start open path exactly:
+// dp[S][j] = cheapest walk from home visiting exactly set S, ending at j.
+func heldKarpPath(m graph.Metric, home graph.NodeID, sites []graph.NodeID) int64 {
+	q := len(sites)
+	d := pairwise(m, append([]graph.NodeID{home}, sites...)) // index 0 = home
+	size := 1 << q
+	const inf = int64(math.MaxInt64) / 2
+	dp := make([]int64, size*q)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for j := 0; j < q; j++ {
+		dp[(1<<j)*q+j] = d[0][j+1]
+	}
+	for s := 1; s < size; s++ {
+		base := s * q
+		for j := 0; j < q; j++ {
+			cur := dp[base+j]
+			if cur >= inf || s&(1<<j) == 0 {
+				continue
+			}
+			for nxt := 0; nxt < q; nxt++ {
+				if s&(1<<nxt) != 0 {
+					continue
+				}
+				ns := s | 1<<nxt
+				if c := cur + d[j+1][nxt+1]; c < dp[ns*q+nxt] {
+					dp[ns*q+nxt] = c
+				}
+			}
+		}
+	}
+	best := inf
+	full := size - 1
+	for j := 0; j < q; j++ {
+		if c := dp[full*q+j]; c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// heldKarpTour solves the closed tour exactly by fixing sites[0] as the
+// start/end.
+func heldKarpTour(m graph.Metric, sites []graph.NodeID) int64 {
+	q := len(sites) - 1 // remaining sites after fixing sites[0]
+	d := pairwise(m, sites)
+	size := 1 << q
+	const inf = int64(math.MaxInt64) / 2
+	dp := make([]int64, size*q)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for j := 0; j < q; j++ {
+		dp[(1<<j)*q+j] = d[0][j+1]
+	}
+	for s := 1; s < size; s++ {
+		base := s * q
+		for j := 0; j < q; j++ {
+			cur := dp[base+j]
+			if cur >= inf || s&(1<<j) == 0 {
+				continue
+			}
+			for nxt := 0; nxt < q; nxt++ {
+				if s&(1<<nxt) != 0 {
+					continue
+				}
+				ns := s | 1<<nxt
+				if c := cur + d[j+1][nxt+1]; c < dp[ns*q+nxt] {
+					dp[ns*q+nxt] = c
+				}
+			}
+		}
+	}
+	best := inf
+	full := size - 1
+	for j := 0; j < q; j++ {
+		if c := dp[full*q+j] + d[j+1][0]; c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// nearestNeighborPath orders sites by repeatedly hopping to the closest
+// unvisited site, starting from home.
+func nearestNeighborPath(m graph.Metric, home graph.NodeID, sites []graph.NodeID) []graph.NodeID {
+	rest := make([]graph.NodeID, len(sites))
+	copy(rest, sites)
+	out := make([]graph.NodeID, 0, len(sites))
+	cur := home
+	for len(rest) > 0 {
+		bi, bd := 0, m.Dist(cur, rest[0])
+		for i := 1; i < len(rest); i++ {
+			if d := m.Dist(cur, rest[i]); d < bd {
+				bi, bd = i, d
+			}
+		}
+		cur = rest[bi]
+		out = append(out, cur)
+		rest[bi] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+	}
+	return out
+}
+
+// twoOptPath improves an open path (fixed start at home) by reversing
+// segments while any reversal shortens it.
+func twoOptPath(m graph.Metric, home graph.NodeID, path []graph.NodeID) []graph.NodeID {
+	n := len(path)
+	if n < 3 {
+		return path
+	}
+	prev := func(i int) graph.NodeID {
+		if i == 0 {
+			return home
+		}
+		return path[i-1]
+	}
+	improved := true
+	for rounds := 0; improved && rounds < 32; rounds++ {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Reverse path[i..j]: edges (prev(i), path[i]) and
+				// (path[j], path[j+1]) become (prev(i), path[j]) and
+				// (path[i], path[j+1]).
+				oldCost := m.Dist(prev(i), path[i])
+				newCost := m.Dist(prev(i), path[j])
+				if j+1 < n {
+					oldCost += m.Dist(path[j], path[j+1])
+					newCost += m.Dist(path[i], path[j+1])
+				}
+				if newCost < oldCost {
+					for a, b := i, j; a < b; a, b = a+1, b-1 {
+						path[a], path[b] = path[b], path[a]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return path
+}
+
+func pathLen(m graph.Metric, home graph.NodeID, path []graph.NodeID) int64 {
+	var total int64
+	cur := home
+	for _, v := range path {
+		total += m.Dist(cur, v)
+		cur = v
+	}
+	return total
+}
+
+func pairwise(m graph.Metric, sites []graph.NodeID) [][]int64 {
+	q := len(sites)
+	d := make([][]int64, q)
+	for i := range d {
+		d[i] = make([]int64, q)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = m.Dist(sites[i], sites[j])
+			}
+		}
+	}
+	return d
+}
+
+// dedupe removes duplicates and (when skip ≥ 0) any site equal to skip.
+func dedupe(sites []graph.NodeID, skip graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(sites))
+	out := make([]graph.NodeID, 0, len(sites))
+	for _, s := range sites {
+		if s == skip {
+			continue
+		}
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, "grid", "n=32")
+	b := Derive(42, "grid", "n=32")
+	if a != b {
+		t.Fatal("same labels gave different seeds")
+	}
+}
+
+func TestDeriveSeparatesLabels(t *testing.T) {
+	if Derive(1, "ab", "c") == Derive(1, "a", "bc") {
+		t.Fatal("label concatenation collision")
+	}
+	if Derive(1, "x") == Derive(2, "x") {
+		t.Fatal("root seed ignored")
+	}
+	if Derive(1, "x") == Derive(1, "y") {
+		t.Fatal("labels ignored")
+	}
+}
+
+func TestNewDerivedStreamsDiffer(t *testing.T) {
+	r1 := NewDerived(7, "a")
+	r2 := NewDerived(7, "b")
+	same := true
+	for i := 0; i < 8; i++ {
+		if r1.Int63() != r2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("derived streams identical for distinct labels")
+	}
+}
+
+func TestSampleKProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		r := New(seed)
+		n := 1 + int(uint(seed)%50)
+		k := int(uint(seed/3) % uint(n+1))
+		s := SampleK(r, n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, x := range s {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKFull(t *testing.T) {
+	r := New(1)
+	s := SampleK(r, 5, 5)
+	seen := make(map[int]bool)
+	for _, x := range s {
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("SampleK(5,5) = %v, not a permutation", s)
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	r := New(1)
+	t.Run("k>n", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for k > n")
+			}
+		}()
+		SampleK(r, 2, 3)
+	})
+	t.Run("negative", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for negative k")
+			}
+		}()
+		SampleK(r, 2, -1)
+	})
+}
+
+func TestSampleKUniformish(t *testing.T) {
+	// Every element of [0,8) should be sampled roughly equally often.
+	r := New(99)
+	counts := make([]int, 8)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		for _, x := range SampleK(r, 8, 2) {
+			counts[x]++
+		}
+	}
+	want := trials * 2 / 8
+	for x, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("element %d sampled %d times, expected ≈%d", x, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(3)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	Shuffle(r, s)
+	sum := 0
+	for _, x := range s {
+		sum += x
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}
