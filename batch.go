@@ -1,0 +1,142 @@
+package dtmsched
+
+// The batch API: run many (system, algorithm) pairs concurrently through
+// the staged engine pipeline. RunBatch fans jobs out over a bounded worker
+// pool, honors context cancellation, recovers per-job panics, and returns
+// results in job order — with byte-identical reports (timings aside) for
+// every worker count, because each job owns its randomness.
+
+import (
+	"context"
+	"fmt"
+
+	"dtmsched/internal/engine"
+	"dtmsched/internal/tm"
+)
+
+// VerifyMode selects how much verification a run performs; see the
+// constants below. The zero value is VerifyFull.
+type VerifyMode = engine.VerifyMode
+
+// Verification policies for Run / RunContext / RunBatch.
+const (
+	// VerifyFull validates algebraically and replays the schedule hop by
+	// hop in the synchronous simulator (the default).
+	VerifyFull = engine.VerifyFull
+	// VerifyFast checks only Definition 1's algebraic transfer-time
+	// constraints — no simulation, no communication cost.
+	VerifyFast = engine.VerifyFast
+	// VerifyOff trusts the scheduler; use for large sweeps that only
+	// need makespans.
+	VerifyOff = engine.VerifyOff
+)
+
+// Timing is the run pipeline's per-stage wall-time record.
+type Timing = engine.Timing
+
+// Counters carries the simulator counters of a fully verified run.
+type Counters = engine.Counters
+
+// RunEvent is one progress record delivered to a batch Hook.
+type RunEvent = engine.Event
+
+// RunStage identifies the pipeline stage a RunEvent reports.
+type RunStage = engine.Stage
+
+// Pipeline stages reported to hooks, in execution order.
+const (
+	StageGenerate = engine.StageGenerate
+	StageSchedule = engine.StageSchedule
+	StageVerify   = engine.StageVerify
+	StageMeasure  = engine.StageMeasure
+	StageDone     = engine.StageDone
+)
+
+// BatchJob is one (system, algorithm) pair for RunBatch. Jobs may share a
+// System: instances are read-only during scheduling and their lazy indexes
+// are synchronized.
+type BatchJob struct {
+	// Name labels the job in results and hook events; defaults to
+	// "alg@topology".
+	Name string
+	// System is the system to schedule.
+	System *System
+	// Alg names the algorithm to resolve against the system's topology.
+	Alg Algorithm
+	// Verify selects the verification policy (default VerifyFull).
+	Verify VerifyMode
+}
+
+// BatchResult pairs one BatchJob with its outcome; exactly one of Report /
+// Err is set.
+type BatchResult struct {
+	// Name echoes the job label.
+	Name string
+	// Report is the finished report on success.
+	Report *Report
+	// Err is the job's failure: an unresolvable algorithm, a pipeline
+	// error, a recovered panic, or the context error for jobs skipped by
+	// cancellation.
+	Err error
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Hook observes per-stage progress; called concurrently from the
+	// workers, so it must be goroutine-safe.
+	Hook func(RunEvent)
+}
+
+// RunBatch runs every job concurrently over a bounded worker pool and
+// returns one result per job, in job order. Cancelling the context returns
+// promptly with partial results: finished jobs keep their reports,
+// unstarted jobs carry the context error. A panicking scheduler fails its
+// own job, never the batch. The returned error is the context's error, if
+// any; per-job failures are reported only through the results.
+func RunBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) ([]BatchResult, error) {
+	ejobs := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		name := j.Name
+		if name == "" && j.System != nil {
+			name = fmt.Sprintf("%s@%s", j.Alg, j.System.Topology())
+		}
+		if j.System == nil {
+			err := fmt.Errorf("dtm: batch job %d (%s) has no System", i, name)
+			ejobs[i] = engine.Job{Name: name, Gen: func() (*tm.Instance, error) { return nil, err }}
+			continue
+		}
+		sched, err := j.System.scheduler(j.Alg)
+		if err != nil {
+			// Surface resolution failures as that job's error, not a
+			// batch abort: the rest of the comparison still runs.
+			ejobs[i] = engine.Job{Name: name, Gen: func() (*tm.Instance, error) { return nil, err }}
+			continue
+		}
+		ejobs[i] = engine.Job{
+			Name:      name,
+			Instance:  j.System.in,
+			Scheduler: sched,
+			Verify:    j.Verify,
+		}
+	}
+	results, err := engine.RunBatch(ctx, ejobs, engine.Options{Workers: opt.Workers, Hook: engineHook(opt.Hook)})
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		out[i] = BatchResult{Name: r.Name, Err: r.Err}
+		if r.Report != nil {
+			out[i].Report = jobs[i].System.report(r.Report)
+		}
+	}
+	return out, err
+}
+
+// engineHook adapts the public hook type (identical underlying type, but
+// spelled without the internal package name).
+func engineHook(h func(RunEvent)) engine.Hook {
+	if h == nil {
+		return nil
+	}
+	return engine.Hook(h)
+}

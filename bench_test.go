@@ -10,6 +10,7 @@ package dtmsched_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -229,5 +230,58 @@ func BenchmarkFacadeEndToEnd(b *testing.B) {
 		if _, err := sys.Run(dtm.AlgGreedy); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEnginePipeline runs the full engine pipeline under each verify
+// policy, reporting the simulator work the VerifyFull path performs
+// (simsteps/op, objmoves/op) so regressions in verification cost are
+// visible next to the wall-clock difference between policies.
+func BenchmarkEnginePipeline(b *testing.B) {
+	for _, mode := range []dtm.VerifyMode{dtm.VerifyFull, dtm.VerifyFast, dtm.VerifyOff} {
+		sys := dtm.NewCliqueSystem(256, dtm.Uniform(64, 2), dtm.Seed(1))
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var steps, moves int64
+			for i := 0; i < b.N; i++ {
+				rep, err := sys.RunContext(context.Background(), dtm.AlgGreedy, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += rep.Counters.SimSteps
+				moves += rep.Counters.ObjectMoves
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "simsteps/op")
+			b.ReportMetric(float64(moves)/float64(b.N), "objmoves/op")
+		})
+	}
+}
+
+// BenchmarkRunBatch measures batch throughput across worker counts: the
+// same 16-job multi-algorithm comparison fanned over 1, 4, and 8 workers.
+func BenchmarkRunBatch(b *testing.B) {
+	sys := dtm.NewCliqueSystem(128, dtm.Uniform(32, 2), dtm.Seed(2))
+	algs := []dtm.Algorithm{dtm.AlgGreedy, dtm.AlgSequential, dtm.AlgList, dtm.AlgRandomOrder}
+	jobs := make([]dtm.BatchJob, 0, 16)
+	for rep := 0; rep < 4; rep++ {
+		for _, alg := range algs {
+			jobs = append(jobs, dtm.BatchJob{Name: fmt.Sprintf("%s/%d", alg, rep), System: sys, Alg: alg})
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := dtm.RunBatch(context.Background(), jobs, dtm.BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,40 +1,118 @@
 // Command dtmbench regenerates every experiment of the reproduction
 // (E1–E11): one per theorem of the paper, the Section 8 lower-bound
 // constructions, and the baseline/ablation comparisons. Its output is the
-// source of EXPERIMENTS.md.
+// source of EXPERIMENTS.md; -json additionally writes a machine-readable
+// results file (see BENCH_RESULTS.json).
 //
 // Usage:
 //
 //	dtmbench [-quick] [-trials N] [-seed S] [-only E5[,E6,…]] [-md]
+//	         [-parallel N] [-timeout D] [-json FILE]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"dtmsched/internal/experiments"
+	"dtmsched/internal/stats"
 )
+
+// jsonCheck, jsonColumn, jsonExperiment, and jsonOutput define the schema
+// of the -json results file.
+type jsonCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+type jsonColumn struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type jsonExperiment struct {
+	ID        string       `json:"id"`
+	Title     string       `json:"title"`
+	Ref       string       `json:"ref"`
+	WallMS    float64      `json:"wall_ms"`
+	Header    []string     `json:"header"`
+	Rows      [][]string   `json:"rows"`
+	Summaries []jsonColumn `json:"summaries"`
+	Checks    []jsonCheck  `json:"checks"`
+	Notes     []string     `json:"notes,omitempty"`
+}
+
+type jsonOutput struct {
+	Quick       bool             `json:"quick"`
+	Trials      int              `json:"trials"`
+	Seed        int64            `json:"seed"`
+	Workers     int              `json:"workers"`
+	TotalMS     float64          `json:"total_ms"`
+	ChecksRun   int              `json:"checks_run"`
+	ChecksFail  int              `json:"checks_failed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// columnSummaries extracts mean/min/max per numeric table column; columns
+// with no parseable cells are skipped.
+func columnSummaries(t *stats.Table) []jsonColumn {
+	header, rows := t.Header(), t.Rows()
+	var cols []jsonColumn
+	for i, name := range header {
+		var xs []float64
+		for _, row := range rows {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "x"), 64); err == nil && !math.IsInf(v, 0) && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		s := stats.Summarize(xs)
+		cols = append(cols, jsonColumn{Name: name, N: s.N, Mean: s.Mean, Min: s.Min, Max: s.Max})
+	}
+	return cols
+}
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		trials = flag.Int("trials", 3, "random instances per parameter cell")
-		seed   = flag.Int64("seed", 0, "root seed (0 = library default)")
-		only   = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		md     = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
-		csv    = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		trials   = flag.Int("trials", 3, "random instances per parameter cell")
+		seed     = flag.Int64("seed", 0, "root seed (0 = library default)")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		md       = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
+		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.Trials = *trials
+	cfg.Workers = *parallel
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg.Ctx = ctx
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -50,23 +128,34 @@ func main() {
 		}
 	}
 
+	out := jsonOutput{Quick: *quick, Trials: *trials, Seed: cfg.Seed, Workers: *parallel}
 	failures := 0
+	runStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dtmbench: %s failed: %v\n", e.ID, err)
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "dtmbench: %s aborted: %v (timeout %s)\n", e.ID, err, *timeout)
+			} else {
+				fmt.Fprintf(os.Stderr, "dtmbench: %s failed: %v\n", e.ID, err)
+			}
 			os.Exit(1)
 		}
-		elapsed := time.Since(start).Round(time.Millisecond)
+		elapsed := time.Since(start)
+		rounded := elapsed.Round(time.Millisecond)
 		switch {
 		case *md:
-			fmt.Printf("## %s — %s\n\n*%s* (completed in %s)\n\n```\n%s```\n\n", res.ID, res.Title, res.Ref, elapsed, res.Table)
+			fmt.Printf("## %s — %s\n\n*%s* (completed in %s)\n\n```\n%s```\n\n", res.ID, res.Title, res.Ref, rounded, res.Table)
 		case *csv:
 			fmt.Printf("# %s,%s\n%s\n", res.ID, res.Title, res.Table.CSV())
 		default:
-			fmt.Printf("=== %s — %s [%s] (%s)\n\n%s\n", res.ID, res.Title, res.Ref, elapsed, res.Table)
+			fmt.Printf("=== %s — %s [%s] (%s)\n\n%s\n", res.ID, res.Title, res.Ref, rounded, res.Table)
 		}
+		je := jsonExperiment{ID: res.ID, Title: res.Title, Ref: res.Ref,
+			WallMS: float64(elapsed.Microseconds()) / 1000,
+			Header: res.Table.Header(), Rows: res.Table.Rows(),
+			Summaries: columnSummaries(res.Table), Notes: res.Notes}
 		for _, c := range res.Checks {
 			mark := "PASS"
 			if !c.OK {
@@ -74,11 +163,29 @@ func main() {
 				failures++
 			}
 			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+			je.Checks = append(je.Checks, jsonCheck{Name: c.Name, OK: c.OK, Detail: c.Detail})
+			out.ChecksRun++
 		}
 		for _, n := range res.Notes {
 			fmt.Printf("  note: %s\n", n)
 		}
 		fmt.Println()
+		out.Experiments = append(out.Experiments, je)
+	}
+	out.TotalMS = float64(time.Since(runStart).Microseconds()) / 1000
+	out.ChecksFail = failures
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, %d checks)\n", *jsonOut, len(out.Experiments), out.ChecksRun)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dtmbench: %d shape checks failed\n", failures)

@@ -17,14 +17,14 @@
 package dtmsched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
+	"dtmsched/internal/engine"
 	"dtmsched/internal/graph"
-	"dtmsched/internal/lower"
-	"dtmsched/internal/sim"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
 	"dtmsched/internal/xrand"
@@ -249,6 +249,12 @@ type Report struct {
 	MaxWalk int64
 	// Stats carries algorithm-specific counters.
 	Stats map[string]int64
+	// Verify is the verification policy the report was produced under.
+	Verify VerifyMode
+	// Timing is the run pipeline's per-stage wall-time instrumentation.
+	Timing Timing
+	// Counters carries the simulator counters (VerifyFull runs only).
+	Counters Counters
 }
 
 // String renders a one-line summary.
@@ -260,35 +266,49 @@ func (r *Report) String() string {
 // Run schedules the system with the chosen algorithm, verifies the
 // schedule in the synchronous simulator, and reports makespan,
 // communication cost, and the approximation ratio against the certified
-// lower bound.
+// lower bound. It is RunContext with a background context and full
+// verification.
 func (s *System) Run(alg Algorithm) (*Report, error) {
+	return s.RunContext(context.Background(), alg, VerifyFull)
+}
+
+// RunContext runs one algorithm through the staged engine pipeline
+// (Generate → Schedule → Verify → Measure) with the given cancellation
+// context and verification policy. The returned report carries per-stage
+// timings and, under VerifyFull, the simulator's counters.
+func (s *System) RunContext(ctx context.Context, alg Algorithm, verify VerifyMode) (*Report, error) {
 	sched, err := s.scheduler(alg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sched.Schedule(s.in)
+	rep, err := engine.Run(ctx, engine.Job{
+		Name:      string(alg),
+		Instance:  s.in,
+		Scheduler: sched,
+		Verify:    verify,
+	})
 	if err != nil {
 		return nil, err
 	}
-	simRes, err := sim.Run(s.in, res.Schedule, sim.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("dtm: simulator rejected %s schedule: %w", res.Algorithm, err)
-	}
-	lb := lower.Compute(s.in)
-	rep := &Report{
-		Algorithm:  res.Algorithm,
+	return s.report(rep), nil
+}
+
+// report converts an engine report into the facade's Report shape.
+func (s *System) report(rep *engine.Report) *Report {
+	return &Report{
+		Algorithm:  rep.Algorithm,
 		Topology:   s.Topology(),
-		Makespan:   res.Makespan,
-		LowerBound: lb.Value,
-		CommCost:   simRes.CommCost,
-		MaxUse:     lb.MaxUse,
-		MaxWalk:    lb.MaxWalkLB,
-		Stats:      res.Stats,
+		Makespan:   rep.Makespan,
+		LowerBound: rep.Bound.Value,
+		Ratio:      rep.Ratio,
+		CommCost:   rep.CommCost,
+		MaxUse:     rep.Bound.MaxUse,
+		MaxWalk:    rep.Bound.MaxWalkLB,
+		Stats:      rep.Stats,
+		Verify:     rep.Verify,
+		Timing:     rep.Timing,
+		Counters:   rep.Counters,
 	}
-	if lb.Value > 0 {
-		rep.Ratio = float64(res.Makespan) / float64(lb.Value)
-	}
-	return rep, nil
 }
 
 // scheduler resolves an Algorithm name against the system's topology.

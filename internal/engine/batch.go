@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures RunBatch.
+type Options struct {
+	// Workers is the goroutine pool size (0 = GOMAXPROCS). Results are
+	// identical for every worker count: jobs own their randomness and
+	// results are returned in job order.
+	Workers int
+	// Hook observes every job's stage completions. Called concurrently
+	// from the workers; must be goroutine-safe.
+	Hook Hook
+}
+
+// JobResult pairs one job with its outcome. Exactly one of Report / Err is
+// set: jobs skipped by cancellation carry the context's error.
+type JobResult struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Name echoes the job label.
+	Name string
+	// Report is the finished report on success.
+	Report *Report
+	// Err is the job's failure: a pipeline error, a recovered scheduler
+	// panic, or the context error for jobs not run before cancellation.
+	Err error
+}
+
+// RunBatch fans jobs out over a bounded worker pool. It always returns one
+// JobResult per job, in job order, regardless of completion order. A
+// panicking job fails its own result, not the sweep. Cancelling the
+// context returns promptly: running jobs stop at their next stage
+// boundary, unstarted jobs are marked with the context error, and all
+// workers are joined before returning (no goroutine leaks). The returned
+// error is the context's error, if any; per-job failures are reported only
+// through the results.
+func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = JobResult{Index: i, Name: jobs[i].Name, Err: err}
+					continue // drain remaining jobs as cancelled
+				}
+				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook))
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// runJob executes one job, converting panics (a buggy scheduler, a bad
+// workload closure) into that job's error.
+func runJob(ctx context.Context, i int, job Job, hook Hook) (res JobResult) {
+	res = JobResult{Index: i, Name: job.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Report = nil
+			res.Err = fmt.Errorf("engine: job %d (%s) panicked: %v", i, job.Name, r)
+		}
+	}()
+	res.Report, res.Err = run(ctx, i, job, hook)
+	return res
+}
+
+// combineHooks chains a job-level and a batch-level hook.
+func combineHooks(a, b Hook) Hook {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return func(ev Event) { a(ev); b(ev) }
+	}
+}
+
+// Reports unwraps a batch into bare reports, failing on the first job
+// error. Convenience for callers (experiments, benches) that treat any
+// job failure as fatal.
+func Reports(results []JobResult) ([]*Report, error) {
+	out := make([]*Report, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("engine: job %d (%s): %w", r.Index, r.Name, r.Err)
+		}
+		out[i] = r.Report
+	}
+	return out, nil
+}

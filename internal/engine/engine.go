@@ -1,0 +1,323 @@
+// Package engine is the concurrent run layer of the reproduction: every
+// evaluation of a scheduler — the public facade, the experiment harness,
+// cmd/dtmbench, and the repository benchmarks — funnels through one staged
+// pipeline
+//
+//	Generate → Schedule → Verify → Measure
+//
+// behind a single entry point, Run, plus a bounded-worker batch runner,
+// RunBatch, with context cancellation, per-job panic recovery, and
+// deterministic result ordering. Each stage is instrumented (wall time per
+// stage, simulator steps, object moves, scheduler stats), and verification
+// is a policy: VerifyFull replays the schedule hop by hop in the
+// synchronous simulator, VerifyFast only checks Definition 1's algebraic
+// transfer-time constraints, and VerifyOff trusts the scheduler — so large
+// sweeps stop paying full simulation cost when they only need makespans.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/sim"
+	"dtmsched/internal/tm"
+)
+
+// VerifyMode selects how much verification the Verify stage performs. The
+// zero value is VerifyFull: reports are fully simulator-checked unless a
+// caller explicitly opts out.
+type VerifyMode int
+
+// Verification policies.
+const (
+	// VerifyFull validates the schedule algebraically and replays it hop
+	// by hop in the synchronous simulator; the report carries measured
+	// communication cost and simulator counters.
+	VerifyFull VerifyMode = iota
+	// VerifyFast runs only schedule.Validate (Definition 1's per-object
+	// transfer-time constraints); no simulation, no communication cost.
+	VerifyFast
+	// VerifyOff skips verification entirely.
+	VerifyOff
+)
+
+// String names the mode for reports and flags.
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyFull:
+		return "full"
+	case VerifyFast:
+		return "fast"
+	case VerifyOff:
+		return "off"
+	default:
+		return fmt.Sprintf("verify(%d)", int(m))
+	}
+}
+
+// Stage identifies a pipeline stage in Hook events.
+type Stage int
+
+// Pipeline stages, in execution order. StageDone fires once per job after
+// Measure, carrying the finished Report.
+const (
+	StageGenerate Stage = iota
+	StageSchedule
+	StageVerify
+	StageMeasure
+	StageDone
+)
+
+// String names the stage for progress output.
+func (s Stage) String() string {
+	switch s {
+	case StageGenerate:
+		return "generate"
+	case StageSchedule:
+		return "schedule"
+	case StageVerify:
+		return "verify"
+	case StageMeasure:
+		return "measure"
+	case StageDone:
+		return "done"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Event is one progress record delivered to a Hook.
+type Event struct {
+	// Job is the index of the job within its batch (0 for single runs).
+	Job int
+	// Name is the job's label.
+	Name string
+	// Stage is the stage that just completed.
+	Stage Stage
+	// Elapsed is the completed stage's wall time (total time for
+	// StageDone).
+	Elapsed time.Duration
+	// Err is the failure that aborted the stage, if any.
+	Err error
+	// Report is the finished report; non-nil only on successful
+	// StageDone events.
+	Report *Report
+}
+
+// Hook observes pipeline progress. Hooks are called synchronously from the
+// worker executing the job, so they must be goroutine-safe when used with
+// RunBatch.
+type Hook func(Event)
+
+// Job is one unit of work for the pipeline: an instance (given directly or
+// produced by Gen) plus either a scheduler to run or a precomputed
+// schedule to verify and measure.
+type Job struct {
+	// Name labels the job in events, errors, and the report.
+	Name string
+	// Instance is the problem instance. Leave nil to have Gen produce it
+	// inside the Generate stage.
+	Instance *tm.Instance
+	// Gen produces the instance when Instance is nil. It runs on the
+	// worker executing the job, so expensive workload generation is
+	// parallelized and timed like every other stage.
+	Gen func() (*tm.Instance, error)
+	// Scheduler computes the schedule. Exactly one of Scheduler /
+	// Schedule must be set.
+	Scheduler core.Scheduler
+	// Schedule is a precomputed schedule to verify and measure instead
+	// of running a scheduler.
+	Schedule *schedule.Schedule
+	// Algorithm labels a precomputed Schedule in the report (default
+	// "precomputed"); ignored when Scheduler is set.
+	Algorithm string
+	// Verify selects the verification policy (default VerifyFull).
+	Verify VerifyMode
+	// SkipLowerBound omits the certified lower-bound computation in the
+	// Measure stage (Report.Bound stays zero, Ratio 0).
+	SkipLowerBound bool
+	// Hook, when set, observes this job's stage completions (in addition
+	// to any batch-level hook).
+	Hook Hook
+}
+
+// Timing records per-stage wall time. Timings are the only
+// non-deterministic fields of a Report; comparisons across runs should
+// zero them first.
+type Timing struct {
+	Generate time.Duration
+	Schedule time.Duration
+	Verify   time.Duration
+	Measure  time.Duration
+	// Total is the whole pipeline, including stage bookkeeping.
+	Total time.Duration
+}
+
+// Counters carries the simulator-measured counters of a VerifyFull run;
+// all zero under VerifyFast / VerifyOff.
+type Counters struct {
+	// SimSteps is the number of synchronous steps the simulator
+	// executed (the step of the last commit).
+	SimSteps int64
+	// ObjectMoves counts object dispatches that traveled a nonzero
+	// distance.
+	ObjectMoves int64
+	// Executed is the number of committed transactions.
+	Executed int64
+}
+
+// Report is the outcome of one pipeline run.
+type Report struct {
+	// Name echoes the job label.
+	Name string
+	// Algorithm names the concrete algorithm that produced the schedule.
+	Algorithm string
+	// Makespan is the schedule's execution time (Definition 1).
+	Makespan int64
+	// Bound is the instance's certified lower bound (zero when
+	// SkipLowerBound was set).
+	Bound lower.Bound
+	// Ratio is Makespan / Bound.Value (0 when the bound is unavailable).
+	Ratio float64
+	// CommCost is the total distance traveled by all objects, measured
+	// by the simulator (VerifyFull only).
+	CommCost int64
+	// Stats carries algorithm-specific counters from the scheduler.
+	Stats map[string]int64
+	// Schedule is the verified schedule itself, for callers that need
+	// per-transaction times (analysis, window checks, visualization).
+	Schedule *schedule.Schedule
+	// Verify echoes the policy the report was produced under.
+	Verify VerifyMode
+	// Timing is the per-stage instrumentation.
+	Timing Timing
+	// Counters are the simulator counters (VerifyFull only).
+	Counters Counters
+}
+
+// Run executes one job through the staged pipeline. The context is checked
+// between stages, so cancellation aborts promptly without leaving partial
+// state anywhere but the returned error.
+func Run(ctx context.Context, job Job) (*Report, error) {
+	return run(ctx, 0, job, job.Hook)
+}
+
+// run is Run with an explicit batch index and composed hook.
+func run(ctx context.Context, idx int, job Job, hook Hook) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	emit := func(stage Stage, elapsed time.Duration, err error, rep *Report) {
+		if hook != nil {
+			hook(Event{Job: idx, Name: job.Name, Stage: stage, Elapsed: elapsed, Err: err, Report: rep})
+		}
+	}
+	fail := func(stage Stage, elapsed time.Duration, err error) (*Report, error) {
+		err = fmt.Errorf("engine: %s stage: %w", stage, err)
+		emit(stage, elapsed, err, nil)
+		return nil, err
+	}
+
+	rep := &Report{Name: job.Name, Verify: job.Verify}
+
+	// Generate: obtain the instance.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	in := job.Instance
+	if in == nil {
+		if job.Gen == nil {
+			return fail(StageGenerate, 0, fmt.Errorf("job %q has neither Instance nor Gen", job.Name))
+		}
+		var err error
+		if in, err = job.Gen(); err != nil {
+			return fail(StageGenerate, time.Since(t0), err)
+		}
+	}
+	rep.Timing.Generate = time.Since(t0)
+	emit(StageGenerate, rep.Timing.Generate, nil, nil)
+
+	// Schedule: run the scheduler (or adopt the precomputed schedule).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	switch {
+	case job.Scheduler != nil:
+		res, err := job.Scheduler.Schedule(in)
+		if err != nil {
+			return fail(StageSchedule, time.Since(t0), err)
+		}
+		rep.Algorithm = res.Algorithm
+		rep.Makespan = res.Makespan
+		rep.Stats = res.Stats
+		rep.Schedule = res.Schedule
+	case job.Schedule != nil:
+		rep.Algorithm = job.Algorithm
+		if rep.Algorithm == "" {
+			rep.Algorithm = "precomputed"
+		}
+		rep.Makespan = job.Schedule.Makespan()
+		rep.Schedule = job.Schedule
+	default:
+		return fail(StageSchedule, 0, fmt.Errorf("job %q has neither Scheduler nor Schedule", job.Name))
+	}
+	rep.Timing.Schedule = time.Since(t0)
+	emit(StageSchedule, rep.Timing.Schedule, nil, nil)
+
+	// Verify: policy-dependent feasibility checking.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	switch job.Verify {
+	case VerifyFull:
+		if err := rep.Schedule.Validate(in); err != nil {
+			return fail(StageVerify, time.Since(t0), fmt.Errorf("%s schedule infeasible: %w", rep.Algorithm, err))
+		}
+		simRes, err := sim.Run(in, rep.Schedule, sim.Options{})
+		if err != nil {
+			return fail(StageVerify, time.Since(t0), fmt.Errorf("simulator rejected %s schedule: %w", rep.Algorithm, err))
+		}
+		rep.CommCost = simRes.CommCost
+		rep.Counters = Counters{
+			SimSteps:    simRes.Makespan,
+			ObjectMoves: simRes.Moves,
+			Executed:    int64(simRes.Executed),
+		}
+	case VerifyFast:
+		if err := rep.Schedule.Validate(in); err != nil {
+			return fail(StageVerify, time.Since(t0), fmt.Errorf("%s schedule infeasible: %w", rep.Algorithm, err))
+		}
+	case VerifyOff:
+		// Trust the scheduler.
+	default:
+		return fail(StageVerify, 0, fmt.Errorf("unknown verify mode %d", int(job.Verify)))
+	}
+	rep.Timing.Verify = time.Since(t0)
+	emit(StageVerify, rep.Timing.Verify, nil, nil)
+
+	// Measure: certified lower bound and approximation ratio.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	if !job.SkipLowerBound {
+		rep.Bound = lower.Compute(in)
+		if rep.Bound.Value > 0 {
+			rep.Ratio = float64(rep.Makespan) / float64(rep.Bound.Value)
+		}
+	}
+	rep.Timing.Measure = time.Since(t0)
+	emit(StageMeasure, rep.Timing.Measure, nil, nil)
+
+	rep.Timing.Total = time.Since(start)
+	emit(StageDone, rep.Timing.Total, nil, rep)
+	return rep, nil
+}

@@ -86,28 +86,33 @@ func runE10(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		setups = setups[:3]
 	}
-	for _, su := range setups {
-		var paper, seq, list, rnd []cell
-		var algName string
+	// Fan every (setup, trial, algorithm) cell out through the engine:
+	// the four algorithms of a trial share one instance, which is safe —
+	// instances are read-only during scheduling.
+	sb := newSweep(cfg)
+	algNames := make([]string, len(setups))
+	sizes := make([]int, len(setups))
+	for si, su := range setups {
 		for trial := 0; trial < trials; trial++ {
 			in, sched := su.build(trial)
-			algName = sched.Name()
-			cp, err := runCell(in, sched)
-			if err != nil {
-				return nil, fmt.Errorf("E10 %s: %w", su.name, err)
-			}
-			cs, err := runCell(in, baseline.Sequential{})
-			if err != nil {
-				return nil, err
-			}
-			cl, err := runCell(in, baseline.List{})
-			if err != nil {
-				return nil, err
-			}
-			cr, err := runCell(in, baseline.Random{Rng: xrand.NewDerived(cfg.Seed, "E10base", su.name, fmt.Sprint(trial))})
-			if err != nil {
-				return nil, err
-			}
+			algNames[si] = sched.Name()
+			sizes[si] = size
+			prefix := fmt.Sprintf("E10/%s/t=%d", su.name, trial)
+			sb.addInstance(prefix+"/paper", in, sched)
+			sb.addInstance(prefix+"/seq", in, baseline.Sequential{})
+			sb.addInstance(prefix+"/list", in, baseline.List{})
+			sb.addInstance(prefix+"/rand", in, baseline.Random{Rng: xrand.NewDerived(cfg.Seed, "E10base", su.name, fmt.Sprint(trial))})
+		}
+		sb.endCell()
+	}
+	groups, err := sb.run()
+	if err != nil {
+		return nil, err
+	}
+	for si, su := range setups {
+		var paper, seq, list, rnd []cell
+		for trial := 0; trial < trials; trial++ {
+			cp, cs, cl, cr := groups[si][4*trial], groups[si][4*trial+1], groups[si][4*trial+2], groups[si][4*trial+3]
 			switch su.name {
 			case "clique", "hypercube", "butterfly", "line":
 				if cp.Makespan > cs.Makespan {
@@ -137,7 +142,7 @@ func runE10(cfg Config) (*Result, error) {
 				winner, bestR = c.name, c.r
 			}
 		}
-		res.Table.AddRowf(su.name, size, algName, rp, rs, rl, rr, winner)
+		res.Table.AddRowf(su.name, sizes[si], algNames[si], rp, rs, rl, rr, winner)
 	}
 	res.Checks = append(res.Checks,
 		checkf("paper scheduler beats the global lock on clique/hypercube/butterfly/line", beatSeqFlat,

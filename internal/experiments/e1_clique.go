@@ -31,30 +31,38 @@ func runE1(cfg Config) (*Result, error) {
 	res := &Result{ID: "E1", Title: "Clique: greedy is O(k)-approximate", Ref: "Theorem 1",
 		Table: stats.NewTable("n", "w", "k", "makespan", "lb", "ratio", "ratio/k")}
 	worstNorm := 0.0
+	type key struct{ n, w, k int }
+	var keys []key
+	sw := newSweep(cfg)
 	for _, n := range ns {
 		for _, k := range ks {
 			w := n / 4
 			if k > w {
 				continue
 			}
-			var cells []cell
 			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := xrand.NewDerived(cfg.Seed, "E1", fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(trial))
-				topo := topology.NewClique(n)
-				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-				c, err := runCell(in, &core.Greedy{})
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, c)
+				sw.add(fmt.Sprintf("E1/n=%d/k=%d/t=%d", n, k, trial), func() (*tm.Instance, error) {
+					rng := xrand.NewDerived(cfg.Seed, "E1", fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(trial))
+					topo := topology.NewClique(n)
+					return tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser), nil
+				}, &core.Greedy{})
 			}
-			ratio := meanRatio(cells)
-			norm := ratio / float64(k)
-			if norm > worstNorm {
-				worstNorm = norm
-			}
-			res.Table.AddRowf(n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+			sw.endCell()
+			keys = append(keys, key{n, w, k})
 		}
+	}
+	groups, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, ky := range keys {
+		cells := groups[i]
+		ratio := meanRatio(cells)
+		norm := ratio / float64(ky.k)
+		if norm > worstNorm {
+			worstNorm = norm
+		}
+		res.Table.AddRowf(ky.n, ky.w, ky.k, meanMakespan(cells), meanBound(cells), ratio, norm)
 	}
 	res.Checks = append(res.Checks,
 		checkf("ratio ≤ 4k everywhere", worstNorm <= 4.0, "worst ratio/k = %.2f (Theorem 1 allows O(k); constant ≤ 4 expected)", worstNorm))
@@ -72,28 +80,36 @@ func runE2(cfg Config) (*Result, error) {
 	res := &Result{ID: "E2", Title: "Hypercube: greedy is O(k·log n)-approximate", Ref: "Section 3.1",
 		Table: stats.NewTable("dim", "n", "w", "k", "makespan", "lb", "ratio", "ratio/(k·log n)")}
 	worstNorm := 0.0
+	type key struct{ d, n, w, k int }
+	var keys []key
+	sw := newSweep(cfg)
 	for _, d := range dims {
 		n := 1 << d
 		for _, k := range ks {
 			w := n / 4
-			var cells []cell
 			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := xrand.NewDerived(cfg.Seed, "E2", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
-				topo := topology.NewHypercube(d)
-				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-				c, err := runCell(in, &core.Greedy{})
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, c)
+				sw.add(fmt.Sprintf("E2/dim=%d/k=%d/t=%d", d, k, trial), func() (*tm.Instance, error) {
+					rng := xrand.NewDerived(cfg.Seed, "E2", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
+					topo := topology.NewHypercube(d)
+					return tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser), nil
+				}, &core.Greedy{})
 			}
-			ratio := meanRatio(cells)
-			norm := ratio / (float64(k) * float64(d))
-			if norm > worstNorm {
-				worstNorm = norm
-			}
-			res.Table.AddRowf(d, n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+			sw.endCell()
+			keys = append(keys, key{d, n, w, k})
 		}
+	}
+	groups, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, ky := range keys {
+		cells := groups[i]
+		ratio := meanRatio(cells)
+		norm := ratio / (float64(ky.k) * float64(ky.d))
+		if norm > worstNorm {
+			worstNorm = norm
+		}
+		res.Table.AddRowf(ky.d, ky.n, ky.w, ky.k, meanMakespan(cells), meanBound(cells), ratio, norm)
 	}
 	res.Checks = append(res.Checks,
 		checkf("ratio ≤ 4·k·log n everywhere", worstNorm <= 4.0, "worst ratio/(k·log n) = %.2f", worstNorm))
@@ -111,30 +127,41 @@ func runE3(cfg Config) (*Result, error) {
 	res := &Result{ID: "E3", Title: "Butterfly: greedy is O(k·log n)-approximate", Ref: "Section 3.1",
 		Table: stats.NewTable("dim", "n", "w", "k", "makespan", "lb", "ratio", "ratio/(k·diam)")}
 	worstNorm := 0.0
+	type key struct {
+		d, n, w, k int
+		diam       float64
+	}
+	var keys []key
+	sw := newSweep(cfg)
 	for _, d := range dims {
 		topoProbe := topology.NewButterfly(d)
 		n := topoProbe.Graph().NumNodes()
 		diam := float64(topoProbe.Diameter())
 		for _, k := range ks {
 			w := maxOf2(n/4, k)
-			var cells []cell
 			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := xrand.NewDerived(cfg.Seed, "E3", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
-				topo := topology.NewButterfly(d)
-				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-				c, err := runCell(in, &core.Greedy{})
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, c)
+				sw.add(fmt.Sprintf("E3/dim=%d/k=%d/t=%d", d, k, trial), func() (*tm.Instance, error) {
+					rng := xrand.NewDerived(cfg.Seed, "E3", fmt.Sprint(d), fmt.Sprint(k), fmt.Sprint(trial))
+					topo := topology.NewButterfly(d)
+					return tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser), nil
+				}, &core.Greedy{})
 			}
-			ratio := meanRatio(cells)
-			norm := ratio / (float64(k) * diam)
-			if norm > worstNorm {
-				worstNorm = norm
-			}
-			res.Table.AddRowf(d, n, w, k, meanMakespan(cells), meanBound(cells), ratio, norm)
+			sw.endCell()
+			keys = append(keys, key{d, n, w, k, diam})
 		}
+	}
+	groups, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, ky := range keys {
+		cells := groups[i]
+		ratio := meanRatio(cells)
+		norm := ratio / (float64(ky.k) * ky.diam)
+		if norm > worstNorm {
+			worstNorm = norm
+		}
+		res.Table.AddRowf(ky.d, ky.n, ky.w, ky.k, meanMakespan(cells), meanBound(cells), ratio, norm)
 	}
 	res.Checks = append(res.Checks,
 		checkf("ratio ≤ 4·k·diam everywhere", worstNorm <= 4.0, "worst ratio/(k·diam) = %.2f", worstNorm))

@@ -31,34 +31,44 @@ func runE5(cfg Config) (*Result, error) {
 		Table: stats.NewTable("side", "n", "w", "k", "tile", "makespan", "lb", "ratio", "ratio/(k·ln m)")}
 	worstNorm := 0.0
 	var xs, ys []float64 // log side vs log ratio, for the growth-shape fit at fixed k=2
+	type key struct{ side, w, k, m int }
+	var keys []key
+	sw := newSweep(cfg)
 	for _, side := range sides {
 		for _, k := range ks {
 			w := 4 * side
 			m := maxOf2(side, w)
-			var cells []cell
-			var tile int64
 			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := xrand.NewDerived(cfg.Seed, "E5", fmt.Sprint(side), fmt.Sprint(k), fmt.Sprint(trial))
 				topo := topology.NewSquareGrid(side)
-				in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-				c, err := runCell(in, &core.Grid{Topo: topo})
-				if err != nil {
-					return nil, err
-				}
-				tile = c.Stats["side"]
-				cells = append(cells, c)
+				sw.add(fmt.Sprintf("E5/side=%d/k=%d/t=%d", side, k, trial), func() (*tm.Instance, error) {
+					rng := xrand.NewDerived(cfg.Seed, "E5", fmt.Sprint(side), fmt.Sprint(k), fmt.Sprint(trial))
+					return tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser), nil
+				}, &core.Grid{Topo: topo})
 			}
-			ratio := meanRatio(cells)
-			norm := ratio / (float64(k) * math.Log(float64(m)))
-			if norm > worstNorm {
-				worstNorm = norm
-			}
-			if k == 2 {
-				xs = append(xs, math.Log(float64(side)))
-				ys = append(ys, math.Log(ratio))
-			}
-			res.Table.AddRowf(side, side*side, w, k, tile, meanMakespan(cells), meanBound(cells), ratio, norm)
+			sw.endCell()
+			keys = append(keys, key{side, w, k, m})
 		}
+	}
+	groups, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, ky := range keys {
+		cells := groups[i]
+		var tile int64
+		for _, c := range cells {
+			tile = c.Stats["side"]
+		}
+		ratio := meanRatio(cells)
+		norm := ratio / (float64(ky.k) * math.Log(float64(ky.m)))
+		if norm > worstNorm {
+			worstNorm = norm
+		}
+		if ky.k == 2 {
+			xs = append(xs, math.Log(float64(ky.side)))
+			ys = append(ys, math.Log(ratio))
+		}
+		res.Table.AddRowf(ky.side, ky.side*ky.side, ky.w, ky.k, tile, meanMakespan(cells), meanBound(cells), ratio, norm)
 	}
 	res.Checks = append(res.Checks,
 		checkf("ratio ≤ 8·k·ln m everywhere", worstNorm <= 8.0, "worst ratio/(k·ln m) = %.2f", worstNorm))

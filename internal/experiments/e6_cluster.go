@@ -36,12 +36,11 @@ func runE6(cfg Config) (*Result, error) {
 		Table: stats.NewTable("alpha", "beta", "gamma", "k", "sigma", "r(A1)", "r(A2)", "r(auto)", "winner", "ratio/(k·beta)")}
 	worstKB := 0.0
 	autoOK := true
+	sb := newSweep(cfg)
 	for _, sw := range sweeps {
 		gamma := int64(2 * sw.beta) // paper assumes γ ≥ β
 		n := sw.alpha * sw.beta
 		w := maxOf2(n/4, sw.k)
-		var c1s, c2s, cas []cell
-		var sigma int64
 		for trial := 0; trial < cfg.Trials; trial++ {
 			rng := xrand.NewDerived(cfg.Seed, "E6", fmt.Sprint(sw.alpha), fmt.Sprint(sw.beta), fmt.Sprint(sw.k), fmt.Sprint(trial))
 			topo := topology.NewCluster(sw.alpha, sw.beta, gamma)
@@ -49,20 +48,25 @@ func runE6(cfg Config) (*Result, error) {
 			algRng := func(tag string) *core.Cluster {
 				return &core.Cluster{Topo: topo, Rng: xrand.NewDerived(cfg.Seed, "E6rng", tag, fmt.Sprint(trial))}
 			}
-			c1, err := runCell(in, &core.Cluster{Topo: topo, Approach: core.ClusterApproach1})
-			if err != nil {
-				return nil, err
-			}
 			a2 := algRng("a2")
 			a2.Approach = core.ClusterApproach2
-			c2, err := runCell(in, a2)
-			if err != nil {
-				return nil, err
-			}
-			ca, err := runCell(in, algRng("auto"))
-			if err != nil {
-				return nil, err
-			}
+			prefix := fmt.Sprintf("E6/a=%d/b=%d/k=%d/t=%d", sw.alpha, sw.beta, sw.k, trial)
+			sb.addInstance(prefix+"/A1", in, &core.Cluster{Topo: topo, Approach: core.ClusterApproach1})
+			sb.addInstance(prefix+"/A2", in, a2)
+			sb.addInstance(prefix+"/auto", in, algRng("auto"))
+		}
+		sb.endCell()
+	}
+	groups, err := sb.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range sweeps {
+		gamma := int64(2 * sw.beta)
+		var c1s, c2s, cas []cell
+		var sigma int64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			c1, c2, ca := groups[i][3*trial], groups[i][3*trial+1], groups[i][3*trial+2]
 			sigma = c1.Stats["sigma"]
 			if ca.Makespan > c1.Makespan && ca.Makespan > c2.Makespan {
 				autoOK = false

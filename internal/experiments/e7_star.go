@@ -31,10 +31,10 @@ func runE7(cfg Config) (*Result, error) {
 		Table: stats.NewTable("alpha", "beta", "k", "n", "r(A1)", "r(A2)", "r(auto)", "winner", "ratio/(k·b·logb)")}
 	worstNorm := 0.0
 	autoOK := true
+	sb := newSweep(cfg)
 	for _, sw := range sweeps {
 		n := 1 + sw.alpha*sw.beta
 		w := maxOf2(n/4, sw.k)
-		var c1s, c2s, cas []cell
 		for trial := 0; trial < cfg.Trials; trial++ {
 			rng := xrand.NewDerived(cfg.Seed, "E7", fmt.Sprint(sw.alpha), fmt.Sprint(sw.beta), fmt.Sprint(sw.k), fmt.Sprint(trial))
 			topo := topology.NewStar(sw.alpha, sw.beta)
@@ -42,18 +42,22 @@ func runE7(cfg Config) (*Result, error) {
 			mk := func(tag string, ap core.ClusterApproach) *core.Star {
 				return &core.Star{Topo: topo, Rng: xrand.NewDerived(cfg.Seed, "E7rng", tag, fmt.Sprint(trial)), Approach: ap}
 			}
-			c1, err := runCell(in, mk("a1", core.ClusterApproach1))
-			if err != nil {
-				return nil, err
-			}
-			c2, err := runCell(in, mk("a2", core.ClusterApproach2))
-			if err != nil {
-				return nil, err
-			}
-			ca, err := runCell(in, mk("auto", core.ClusterAuto))
-			if err != nil {
-				return nil, err
-			}
+			prefix := fmt.Sprintf("E7/a=%d/b=%d/k=%d/t=%d", sw.alpha, sw.beta, sw.k, trial)
+			sb.addInstance(prefix+"/A1", in, mk("a1", core.ClusterApproach1))
+			sb.addInstance(prefix+"/A2", in, mk("a2", core.ClusterApproach2))
+			sb.addInstance(prefix+"/auto", in, mk("auto", core.ClusterAuto))
+		}
+		sb.endCell()
+	}
+	groups, err := sb.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range sweeps {
+		n := 1 + sw.alpha*sw.beta
+		var c1s, c2s, cas []cell
+		for trial := 0; trial < cfg.Trials; trial++ {
+			c1, c2, ca := groups[i][3*trial], groups[i][3*trial+1], groups[i][3*trial+2]
 			if ca.Makespan > c1.Makespan && ca.Makespan > c2.Makespan {
 				autoOK = false
 			}

@@ -6,6 +6,7 @@ import (
 
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
+	"dtmsched/internal/engine"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/stats"
 	"dtmsched/internal/tm"
@@ -61,10 +62,9 @@ func runLB(cfg Config, id, title, ref string, build func(s int) tm.Blocked) (*Re
 			walkOK = false
 		}
 
-		// Best schedule any implemented algorithm finds.
-		var bestName string
-		var bestCell cell
-		var bestTimes []int64
+		// Best schedule any implemented algorithm finds; the candidate
+		// schedulers fan out concurrently over the shared instance. The
+		// certified bound is computed once above, so the jobs skip it.
 		algs := []struct {
 			name  string
 			sched core.Scheduler
@@ -73,17 +73,26 @@ func runLB(cfg Config, id, title, ref string, build func(s int) tm.Blocked) (*Re
 			{"list", baseline.List{}},
 			{"sequential", baseline.Sequential{}},
 		}
-		for _, a := range algs {
-			r, err := a.sched.Schedule(li.Instance)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", id, a.name, err)
-			}
-			c, err := runSchedule(li.Instance, r.Schedule, a.name)
-			if err != nil {
-				return nil, err
-			}
+		jobs := make([]engine.Job, len(algs))
+		for i, a := range algs {
+			jobs[i] = engine.Job{Name: fmt.Sprintf("%s/s=%d/%s", id, s, a.name),
+				Instance: li.Instance, Scheduler: a.sched, SkipLowerBound: true}
+		}
+		results, err := engine.RunBatch(cfg.context(), jobs, engine.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		reports, err := engine.Reports(results)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		var bestName string
+		var bestCell cell
+		var bestTimes []int64
+		for i, rep := range reports {
+			c := cellFromReport(rep)
 			if bestTimes == nil || c.Makespan < bestCell.Makespan {
-				bestName, bestCell, bestTimes = a.name, c, r.Schedule.Times
+				bestName, bestCell, bestTimes = algs[i].name, c, rep.Schedule.Times
 			}
 		}
 

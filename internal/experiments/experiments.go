@@ -11,13 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"dtmsched/internal/core"
+	"dtmsched/internal/engine"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/schedule"
-	"dtmsched/internal/sim"
 	"dtmsched/internal/stats"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/xrand"
@@ -31,6 +32,20 @@ type Config struct {
 	Trials int
 	// Quick shrinks sweeps for fast CI/bench runs.
 	Quick bool
+	// Workers bounds the engine worker pool that trial cells fan out
+	// over (0 = GOMAXPROCS, 1 = sequential). Results are identical for
+	// every worker count.
+	Workers int
+	// Ctx cancels long sweeps mid-flight; nil means Background.
+	Ctx context.Context
+}
+
+// context returns the sweep's cancellation context.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig is the configuration used for EXPERIMENTS.md.
@@ -111,37 +126,92 @@ func (c cell) Ratio() float64 {
 	return float64(c.Makespan) / float64(c.Bound.Value)
 }
 
-// runCell schedules in with sched, verifies the schedule both
-// algebraically and in the synchronous simulator, and measures it against
+// cellFromReport converts an engine report into a measurement cell.
+func cellFromReport(r *engine.Report) cell {
+	return cell{Makespan: r.Makespan, Bound: r.Bound, CommCost: r.CommCost, Stats: r.Stats}
+}
+
+// runCell schedules in with sched through the engine pipeline (full
+// verification: algebraic + synchronous simulator) and measures it against
 // the instance lower bound. Any infeasibility is a hard error: the
 // experiments never report unverified schedules.
 func runCell(in *tm.Instance, sched core.Scheduler) (cell, error) {
-	res, err := sched.Schedule(in)
+	rep, err := engine.Run(context.Background(), engine.Job{Instance: in, Scheduler: sched})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
 	}
-	simRes, err := sim.Run(in, res.Schedule, sim.Options{})
-	if err != nil {
-		return cell{}, fmt.Errorf("%s: simulator rejected schedule: %w", sched.Name(), err)
-	}
-	return cell{
-		Makespan: res.Makespan,
-		Bound:    lower.Compute(in),
-		CommCost: simRes.CommCost,
-		Stats:    res.Stats,
-	}, nil
+	return cellFromReport(rep), nil
 }
 
 // runSchedule is runCell for a precomputed schedule.
 func runSchedule(in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
-	if err := s.Validate(in); err != nil {
-		return cell{}, fmt.Errorf("%s: infeasible: %w", name, err)
-	}
-	simRes, err := sim.Run(in, s, sim.Options{})
+	rep, err := engine.Run(context.Background(), engine.Job{Instance: in, Schedule: s, Algorithm: name})
 	if err != nil {
-		return cell{}, fmt.Errorf("%s: simulator rejected schedule: %w", name, err)
+		return cell{}, fmt.Errorf("%s: %w", name, err)
 	}
-	return cell{Makespan: s.Makespan(), Bound: lower.Compute(in), CommCost: simRes.CommCost}, nil
+	return cellFromReport(rep), nil
+}
+
+// sweep accumulates engine jobs across a parameter sweep, grouped into
+// cells, and executes them all through one engine.RunBatch fan-out: trial
+// cells of an experiment run concurrently (bounded by Config.Workers)
+// while the grouped results keep their deterministic add order.
+type sweep struct {
+	cfg   Config
+	jobs  []engine.Job
+	sizes []int // jobs per closed cell, in endCell order
+	open  int   // jobs added to the currently open cell
+}
+
+// newSweep starts an empty sweep under cfg.
+func newSweep(cfg Config) *sweep { return &sweep{cfg: cfg} }
+
+// add appends one scheduler job to the open cell. gen runs on a pool
+// worker, so it must derive its randomness from labels, not shared state.
+func (s *sweep) add(name string, gen func() (*tm.Instance, error), sched core.Scheduler) {
+	s.jobs = append(s.jobs, engine.Job{Name: name, Gen: gen, Scheduler: sched})
+	s.open++
+}
+
+// addInstance appends one scheduler job on a pre-built instance. Instances
+// may be shared between jobs of a cell (e.g. several algorithms compared
+// on the same input).
+func (s *sweep) addInstance(name string, in *tm.Instance, sched core.Scheduler) {
+	s.jobs = append(s.jobs, engine.Job{Name: name, Instance: in, Scheduler: sched})
+	s.open++
+}
+
+// endCell closes the current cell.
+func (s *sweep) endCell() {
+	s.sizes = append(s.sizes, s.open)
+	s.open = 0
+}
+
+// run executes every accumulated job and returns the cells grouped per
+// endCell call, in order. The first failing job aborts the sweep.
+func (s *sweep) run() ([][]cell, error) {
+	if s.open > 0 {
+		s.endCell()
+	}
+	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	reports, err := engine.Reports(results)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]cell, 0, len(s.sizes))
+	i := 0
+	for _, size := range s.sizes {
+		g := make([]cell, size)
+		for j := 0; j < size; j++ {
+			g[j] = cellFromReport(reports[i])
+			i++
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
 }
 
 // meanRatio averages cells' ratios.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node of a Graph. IDs are dense: a graph with N nodes
@@ -28,15 +29,16 @@ type Edge struct {
 // Graph is a weighted undirected multigraph with dense node IDs.
 // The zero value is an empty graph with no nodes; use New to size it.
 //
-// Graph is safe for concurrent reads after construction. Mutation
-// (AddEdge) must not race with queries.
+// Graph is safe for concurrent reads after construction, including the
+// lazily created shortest-path cache. Mutation (AddEdge) must not race
+// with queries.
 type Graph struct {
 	name       string
 	adj        [][]Edge
 	edges      int
 	unitWeight bool // true while every inserted edge has weight 1
 
-	sp *spCache // lazy shortest-path cache, created on first query
+	sp atomic.Pointer[spCache] // lazy shortest-path cache, created on first query
 }
 
 // New returns a graph with n isolated nodes.
@@ -83,7 +85,7 @@ func (g *Graph) AddEdge(u, v NodeID, w int64) {
 	if w != 1 {
 		g.unitWeight = false
 	}
-	g.sp = nil // invalidate cache
+	g.sp.Store(nil) // invalidate cache
 }
 
 // AddUnitEdge inserts an undirected edge of weight 1.

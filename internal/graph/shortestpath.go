@@ -130,10 +130,14 @@ type spCache struct {
 }
 
 func (g *Graph) cache() *spCache {
-	if g.sp == nil {
-		g.sp = &spCache{trees: make(map[NodeID]*ShortestPathTree)}
+	if c := g.sp.Load(); c != nil {
+		return c
 	}
-	return g.sp
+	c := &spCache{trees: make(map[NodeID]*ShortestPathTree)}
+	if g.sp.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.sp.Load()
 }
 
 // Tree returns the (cached) shortest-path tree rooted at src. Safe for

@@ -61,6 +61,9 @@ type Result struct {
 	Makespan int64
 	// CommCost is the total distance traveled by all objects.
 	CommCost int64
+	// Moves counts object dispatches that traveled a nonzero distance
+	// (one per hop sequence between consecutive holders).
+	Moves int64
 	// Executed counts committed transactions (equals the instance's
 	// transaction count on success).
 	Executed int
@@ -131,6 +134,9 @@ func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
 		}
 		res.CommCost += d
 		res.ObjectDistance[o] += d
+		if d > 0 {
+			res.Moves++
+		}
 		return nil
 	}
 

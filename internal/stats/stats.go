@@ -193,6 +193,18 @@ func (t *Table) String() string {
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a deep copy of the data rows, in insertion order.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return rows
+}
+
 // CSV renders the table as comma-separated values (header + rows), with
 // cells containing commas or quotes quoted per RFC 4180.
 func (t *Table) CSV() string {

@@ -13,6 +13,7 @@ package tm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dtmsched/internal/graph"
 )
@@ -55,7 +56,8 @@ type Instance struct {
 	// Home[o] is the node initially holding object o.
 	Home []graph.NodeID
 
-	users [][]TxnID // lazily built object → requesting-transaction index
+	usersOnce sync.Once
+	users     [][]TxnID // lazily built object → requesting-transaction index
 }
 
 // NewInstance assembles an instance and assigns dense transaction IDs. The
@@ -83,11 +85,10 @@ func (in *Instance) Dist(u, v graph.NodeID) int64 { return in.Metric.Dist(u, v) 
 
 // Users returns the IDs of the transactions requesting object o (the
 // paper's set A_i), in increasing ID order. The index is built on first use
-// and cached.
+// and cached; the build is synchronized so instances may be shared across
+// concurrent engine jobs.
 func (in *Instance) Users(o ObjectID) []TxnID {
-	if in.users == nil {
-		in.buildUsers()
-	}
+	in.usersOnce.Do(in.buildUsers)
 	return in.users[o]
 }
 

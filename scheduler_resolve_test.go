@@ -1,0 +1,204 @@
+package dtmsched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dtmsched/internal/baseline"
+	"dtmsched/internal/core"
+)
+
+// smallSystems builds one tiny System per topology family, keyed by
+// Topology() kind name.
+func smallSystems() map[string]*System {
+	w := Uniform(8, 2)
+	return map[string]*System{
+		"clique":    NewCliqueSystem(8, w),
+		"line":      NewLineSystem(8, w),
+		"grid":      NewGridSystem(4, w),
+		"hypercube": NewHypercubeSystem(3, w),
+		"cluster":   NewClusterSystem(2, 4, 8, w),
+		"star":      NewStarSystem(2, 4, w),
+	}
+}
+
+// TestSchedulerResolution drives every Algorithm constant against every
+// topology family: concrete scheduler types on success (including the
+// forced cluster/star approaches), and the topology-mismatch errors.
+func TestSchedulerResolution(t *testing.T) {
+	systems := smallSystems()
+	tests := []struct {
+		alg Algorithm
+		// want maps topology kind → expected check; topologies absent
+		// from the map must fail with wantErr.
+		want    map[string]func(t *testing.T, s core.Scheduler)
+		wantErr string // substring of the mismatch error, "" if alg never errors
+	}{
+		{
+			alg: AlgGreedy,
+			want: map[string]func(*testing.T, core.Scheduler){
+				"clique": isType[*core.Greedy], "line": isType[*core.Greedy],
+				"grid": isType[*core.Greedy], "hypercube": isType[*core.Greedy],
+				"cluster": isType[*core.Greedy], "star": isType[*core.Greedy],
+			},
+		},
+		{
+			alg:     AlgLine,
+			want:    map[string]func(*testing.T, core.Scheduler){"line": isType[*core.Line]},
+			wantErr: "requires a line topology",
+		},
+		{
+			alg:     AlgGrid,
+			want:    map[string]func(*testing.T, core.Scheduler){"grid": isType[*core.Grid]},
+			wantErr: "requires a grid topology",
+		},
+		{
+			alg:     AlgCluster,
+			want:    map[string]func(*testing.T, core.Scheduler){"cluster": clusterApproach(core.ClusterAuto)},
+			wantErr: "requires a cluster topology",
+		},
+		{
+			alg:     AlgClusterGreedy,
+			want:    map[string]func(*testing.T, core.Scheduler){"cluster": clusterApproach(core.ClusterApproach1)},
+			wantErr: "requires a cluster topology",
+		},
+		{
+			alg:     AlgClusterRandom,
+			want:    map[string]func(*testing.T, core.Scheduler){"cluster": clusterApproach(core.ClusterApproach2)},
+			wantErr: "requires a cluster topology",
+		},
+		{
+			alg:     AlgStar,
+			want:    map[string]func(*testing.T, core.Scheduler){"star": starApproach(core.ClusterAuto)},
+			wantErr: "requires a star topology",
+		},
+		{
+			alg:     AlgStarGreedy,
+			want:    map[string]func(*testing.T, core.Scheduler){"star": starApproach(core.ClusterApproach1)},
+			wantErr: "requires a star topology",
+		},
+		{
+			alg:     AlgStarRandom,
+			want:    map[string]func(*testing.T, core.Scheduler){"star": starApproach(core.ClusterApproach2)},
+			wantErr: "requires a star topology",
+		},
+		{
+			alg: AlgSequential,
+			want: map[string]func(*testing.T, core.Scheduler){
+				"clique": isType[baseline.Sequential], "line": isType[baseline.Sequential],
+				"grid": isType[baseline.Sequential], "hypercube": isType[baseline.Sequential],
+				"cluster": isType[baseline.Sequential], "star": isType[baseline.Sequential],
+			},
+		},
+		{
+			alg: AlgList,
+			want: map[string]func(*testing.T, core.Scheduler){
+				"clique": isType[baseline.List], "line": isType[baseline.List],
+				"grid": isType[baseline.List], "hypercube": isType[baseline.List],
+				"cluster": isType[baseline.List], "star": isType[baseline.List],
+			},
+		},
+		{
+			alg: AlgRandomOrder,
+			want: map[string]func(*testing.T, core.Scheduler){
+				"clique": isType[baseline.Random], "line": isType[baseline.Random],
+				"grid": isType[baseline.Random], "hypercube": isType[baseline.Random],
+				"cluster": isType[baseline.Random], "star": isType[baseline.Random],
+			},
+		},
+		{
+			// AlgAuto dispatches on topology: the structured scheduler
+			// where one exists, greedy on diameter-friendly graphs.
+			alg: AlgAuto,
+			want: map[string]func(*testing.T, core.Scheduler){
+				"clique": isType[*core.Greedy], "hypercube": isType[*core.Greedy],
+				"line": isType[*core.Line], "grid": isType[*core.Grid],
+				"cluster": clusterApproach(core.ClusterAuto), "star": starApproach(core.ClusterAuto),
+			},
+		},
+	}
+
+	covered := map[Algorithm]bool{}
+	for _, tc := range tests {
+		covered[tc.alg] = true
+		for kind, sys := range systems {
+			t.Run(fmt.Sprintf("%s/%s", tc.alg, kind), func(t *testing.T) {
+				sched, err := sys.scheduler(tc.alg)
+				check, ok := tc.want[kind]
+				if !ok {
+					if err == nil {
+						t.Fatalf("scheduler(%s) on %s succeeded (%T), want error", tc.alg, kind, sched)
+					}
+					if tc.wantErr == "" || !strings.Contains(err.Error(), tc.wantErr) {
+						t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("scheduler(%s) on %s: %v", tc.alg, kind, err)
+				}
+				check(t, sched)
+			})
+		}
+	}
+
+	t.Run("unknown", func(t *testing.T) {
+		_, err := systems["clique"].scheduler(Algorithm("nonesuch"))
+		if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+			t.Fatalf("unknown algorithm error = %v", err)
+		}
+	})
+
+	// Every published algorithm must appear in the table above, so a new
+	// Alg* constant cannot ship without resolution coverage.
+	for _, alg := range Algorithms() {
+		if !covered[alg] {
+			t.Errorf("Algorithms() includes %q but the resolution table does not", alg)
+		}
+	}
+}
+
+// isType asserts the scheduler's concrete type.
+func isType[T core.Scheduler](t *testing.T, s core.Scheduler) {
+	t.Helper()
+	if _, ok := s.(T); !ok {
+		var want T
+		t.Fatalf("scheduler is %T, want %T", s, want)
+	}
+}
+
+// clusterApproach asserts a *core.Cluster with the given forced approach
+// and a non-nil rng (Approach 2 needs randomness).
+func clusterApproach(ap core.ClusterApproach) func(*testing.T, core.Scheduler) {
+	return func(t *testing.T, s core.Scheduler) {
+		t.Helper()
+		c, ok := s.(*core.Cluster)
+		if !ok {
+			t.Fatalf("scheduler is %T, want *core.Cluster", s)
+		}
+		if c.Approach != ap {
+			t.Errorf("cluster approach = %v, want %v", c.Approach, ap)
+		}
+		if c.Rng == nil {
+			t.Error("cluster scheduler has no rng")
+		}
+	}
+}
+
+// starApproach is clusterApproach for *core.Star.
+func starApproach(ap core.ClusterApproach) func(*testing.T, core.Scheduler) {
+	return func(t *testing.T, s core.Scheduler) {
+		t.Helper()
+		st, ok := s.(*core.Star)
+		if !ok {
+			t.Fatalf("scheduler is %T, want *core.Star", s)
+		}
+		if st.Approach != ap {
+			t.Errorf("star approach = %v, want %v", st.Approach, ap)
+		}
+		if st.Rng == nil {
+			t.Error("star scheduler has no rng")
+		}
+	}
+}

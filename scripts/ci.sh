@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's full verification gate in one command.
+#
+#   scripts/ci.sh          # gofmt, vet, build, test
+#   RACE=1 scripts/ci.sh   # additionally run the race-detector pass
+#
+# Run from anywhere; the script cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [[ "${RACE:-0}" != "0" ]]; then
+    echo "== go test -race =="
+    go test -race ./...
+fi
+
+echo "ci: all checks passed"
