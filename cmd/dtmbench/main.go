@@ -8,20 +8,32 @@
 //
 //	dtmbench [-quick] [-trials N] [-seed S] [-only E5[,E6,…]] [-md]
 //	         [-parallel N] [-timeout D] [-json FILE]
+//	         [-trace FILE] [-metrics FILE] [-http ADDR]
+//
+// -trace writes a structured JSONL run trace to FILE and a Chrome
+// trace-event file (open it in Perfetto or chrome://tracing) next to it;
+// -metrics writes the final metrics snapshot; -http serves
+// /debug/pprof/*, /debug/vars, and /metrics while the sweep runs.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"dtmsched/internal/experiments"
+	"dtmsched/internal/obs"
 	"dtmsched/internal/stats"
 )
 
@@ -41,11 +53,21 @@ type jsonColumn struct {
 	Max  float64 `json:"max"`
 }
 
+// jsonPipeline surfaces the engine instrumentation that each experiment's
+// jobs measure: summed per-stage wall time and the simulator counters.
+type jsonPipeline struct {
+	StageMS     map[string]float64 `json:"stage_ms,omitempty"`
+	SimSteps    int64              `json:"sim_steps"`
+	ObjectMoves int64              `json:"object_moves"`
+	Executed    int64              `json:"txns_executed"`
+}
+
 type jsonExperiment struct {
 	ID        string       `json:"id"`
 	Title     string       `json:"title"`
 	Ref       string       `json:"ref"`
 	WallMS    float64      `json:"wall_ms"`
+	Pipeline  jsonPipeline `json:"pipeline"`
 	Header    []string     `json:"header"`
 	Rows      [][]string   `json:"rows"`
 	Summaries []jsonColumn `json:"summaries"`
@@ -59,9 +81,39 @@ type jsonOutput struct {
 	Seed        int64            `json:"seed"`
 	Workers     int              `json:"workers"`
 	TotalMS     float64          `json:"total_ms"`
+	Pipeline    jsonPipeline     `json:"pipeline"`
 	ChecksRun   int              `json:"checks_run"`
 	ChecksFail  int              `json:"checks_failed"`
 	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// counterMap extracts the counters of a registry snapshot by full name.
+func counterMap(samples []obs.Sample) map[string]int64 {
+	out := make(map[string]int64, len(samples))
+	for _, s := range samples {
+		if s.Kind == "counter" {
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}
+
+// pipelineDelta computes the engine instrumentation accumulated between
+// two counter snapshots.
+func pipelineDelta(prev, cur map[string]int64) jsonPipeline {
+	d := func(name string) int64 { return cur[name] - prev[name] }
+	p := jsonPipeline{
+		SimSteps:    d("sim_steps_total"),
+		ObjectMoves: d("object_moves_total"),
+		Executed:    d("txns_executed_total"),
+		StageMS:     map[string]float64{},
+	}
+	for _, stage := range []string{"generate", "schedule", "verify", "measure", "done"} {
+		if us := d("engine_stage_wall_us{stage=" + stage + "}"); us != 0 {
+			p.StageMS[stage] = float64(us) / 1000
+		}
+	}
+	return p
 }
 
 // columnSummaries extracts mean/min/max per numeric table column; columns
@@ -96,6 +148,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
+		traceOut = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
+		metrOut  = flag.String("metrics", "", "write the final metrics snapshot (JSON) to FILE")
+		httpAddr = flag.String("http", "", "serve /debug/pprof/*, /debug/vars, and /metrics on ADDR while running")
 	)
 	flag.Parse()
 
@@ -105,6 +160,32 @@ func main() {
 	cfg.Workers = *parallel
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+
+	// The collector is always attached: metrics-only by default, with
+	// full trace retention when -trace asks for it. Trace retention is
+	// capped so an all-experiments run cannot hold every span in memory;
+	// the cap is reported, never silent.
+	const maxTraceRuns = 256
+	col := obs.NewMetricsCollector()
+	if *traceOut != "" {
+		col = obs.NewCollectorConfig(obs.Config{Traces: true, MaxTraceRuns: maxTraceRuns})
+	}
+	cfg.Collector = col
+	if *httpAddr != "" {
+		col.Registry().Publish("dtmsched")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := col.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dtmbench: http server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving /debug/pprof/, /debug/vars, /metrics on %s\n", *httpAddr)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -131,6 +212,7 @@ func main() {
 	out := jsonOutput{Quick: *quick, Trials: *trials, Seed: cfg.Seed, Workers: *parallel}
 	failures := 0
 	runStart := time.Now()
+	prevCounters := counterMap(col.Registry().Snapshot())
 	for _, e := range selected {
 		start := time.Now()
 		res, err := e.Run(cfg)
@@ -152,10 +234,13 @@ func main() {
 		default:
 			fmt.Printf("=== %s — %s [%s] (%s)\n\n%s\n", res.ID, res.Title, res.Ref, rounded, res.Table)
 		}
+		curCounters := counterMap(col.Registry().Snapshot())
 		je := jsonExperiment{ID: res.ID, Title: res.Title, Ref: res.Ref,
-			WallMS: float64(elapsed.Microseconds()) / 1000,
-			Header: res.Table.Header(), Rows: res.Table.Rows(),
+			WallMS:   float64(elapsed.Microseconds()) / 1000,
+			Pipeline: pipelineDelta(prevCounters, curCounters),
+			Header:   res.Table.Header(), Rows: res.Table.Rows(),
 			Summaries: columnSummaries(res.Table), Notes: res.Notes}
+		prevCounters = curCounters
 		for _, c := range res.Checks {
 			mark := "PASS"
 			if !c.OK {
@@ -173,8 +258,28 @@ func main() {
 		out.Experiments = append(out.Experiments, je)
 	}
 	out.TotalMS = float64(time.Since(runStart).Microseconds()) / 1000
+	out.Pipeline = pipelineDelta(map[string]int64{}, prevCounters)
 	out.ChecksFail = failures
 
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, col.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		chromePath := strings.TrimSuffix(*traceOut, filepath.Ext(*traceOut)) + ".chrome.json"
+		if err := writeFileWith(chromePath, col.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: writing chrome trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s and %s (trace retains up to %d runs)\n", *traceOut, chromePath, maxTraceRuns)
+	}
+	if *metrOut != "" {
+		if err := writeFileWith(*metrOut, col.WriteMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metrOut)
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -191,4 +296,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dtmbench: %d shape checks failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// writeFileWith streams a collector export into a file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

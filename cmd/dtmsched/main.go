@@ -10,25 +10,46 @@
 //	dtmsched -topo star -alg star -analyze -trace
 //	dtmsched -topo grid -save inst.json          # persist the instance
 //	dtmsched -load inst.json -alg greedy         # schedule a saved one
+//
+// The trace subcommand runs one instance with an observability collector
+// attached and renders the run's timeline (per-object transit / queue /
+// use lanes) as text; -out and -chrome export the structured JSONL and
+// Chrome trace-event files:
+//
+//	dtmsched trace -topo grid -side 8 -w 16 -alg auto
+//	dtmsched trace -topo star -alpha 4 -beta 8 -out run.jsonl -chrome run.chrome.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dtm "dtmsched"
 	"dtmsched/internal/analysis"
+	"dtmsched/internal/asciiviz"
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
+	"dtmsched/internal/engine"
+	"dtmsched/internal/graph"
 	"dtmsched/internal/lower"
+	"dtmsched/internal/obs"
 	"dtmsched/internal/persist"
 	"dtmsched/internal/sim"
 	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
 	"dtmsched/internal/xrand"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTraceCmd(os.Args[2:]); err != nil {
+			fatalf("trace: %v", err)
+		}
+		return
+	}
 	var (
 		topo     = flag.String("topo", "clique", "topology: clique|line|grid|hypercube|butterfly|cluster|star|torus")
 		n        = flag.Int("n", 128, "nodes (clique/line), or per-topology default")
@@ -129,6 +150,155 @@ func main() {
 			}
 		}
 	}
+}
+
+// runTraceCmd implements `dtmsched trace`: schedule one instance through
+// the engine with a tracing collector attached, render the run's timeline
+// and schedule metrics, and optionally export the JSONL / Chrome trace and
+// the metrics snapshot.
+func runTraceCmd(args []string) error {
+	fs := flag.NewFlagSet("dtmsched trace", flag.ExitOnError)
+	var (
+		topoName = fs.String("topo", "grid", "topology: clique|line|grid|torus|hypercube|butterfly|cluster|star")
+		n        = fs.Int("n", 64, "nodes (clique/line)")
+		side     = fs.Int("side", 8, "grid/torus side length")
+		dim      = fs.Int("dim", 5, "hypercube/butterfly dimension")
+		alpha    = fs.Int("alpha", 4, "cluster/star: number of clusters/rays")
+		beta     = fs.Int("beta", 8, "cluster/star: nodes per cluster/ray")
+		gamma    = fs.Int64("gamma", 16, "cluster: bridge edge weight")
+		w        = fs.Int("w", 16, "number of shared objects")
+		k        = fs.Int("k", 2, "objects per transaction")
+		workload = fs.String("workload", "uniform", "workload: uniform|zipf|hotspot|single")
+		alg      = fs.String("alg", "auto", "algorithm: auto (paper scheduler for the topology)|greedy|greedy-degree|sequential|list|random")
+		seed     = fs.Int64("seed", 0, "root seed (0 = library default)")
+		out      = fs.String("out", "", "write the structured JSONL trace to FILE")
+		chrome   = fs.String("chrome", "", "write a Chrome trace-event file (Perfetto / chrome://tracing) to FILE")
+		metrics  = fs.String("metrics", "", "write the metrics snapshot (JSON) to FILE")
+		width    = fs.Int64("width", 200, "max timeline width in steps before the text rendering is skipped")
+		objects  = fs.Int("objects", 40, "max object lanes in the text timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rootSeed := *seed
+	if rootSeed == 0 {
+		rootSeed = xrand.DefaultSeed
+	}
+
+	var topo topology.Topology
+	switch *topoName {
+	case "clique":
+		topo = topology.NewClique(*n)
+	case "line":
+		topo = topology.NewLine(*n)
+	case "grid":
+		topo = topology.NewSquareGrid(*side)
+	case "torus":
+		topo = topology.NewTorus(*side, *side)
+	case "hypercube":
+		topo = topology.NewHypercube(*dim)
+	case "butterfly":
+		topo = topology.NewButterfly(*dim)
+	case "cluster":
+		topo = topology.NewCluster(*alpha, *beta, *gamma)
+	case "star":
+		topo = topology.NewStar(*alpha, *beta)
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+
+	var wl tm.Workload
+	switch *workload {
+	case "uniform":
+		wl = tm.UniformK(*w, *k)
+	case "zipf":
+		wl = tm.ZipfK(*w, *k)
+	case "hotspot":
+		wl = tm.HotspotK(*w, *k)
+	case "single":
+		wl = tm.SingleObject()
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	g := topo.Graph()
+	in := wl.Generate(xrand.NewDerived(rootSeed, "trace", *topoName), g, graph.FuncMetric(topo.Dist), g.Nodes(), tm.PlaceAtRandomUser)
+
+	sched, err := traceScheduler(*alg, topo, rootSeed)
+	if err != nil {
+		return err
+	}
+
+	col := obs.NewCollector()
+	rep, err := engine.Run(context.Background(), engine.Job{
+		Name: "trace/" + *topoName, Instance: in, Scheduler: sched, Collector: col,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-20s on %-10s makespan=%-7d lb=%-6d ratio=%.2f comm=%d\n",
+		rep.Algorithm, *topoName, rep.Makespan, rep.Bound.Value, rep.Ratio, rep.CommCost)
+	fmt.Println()
+	fmt.Print(asciiviz.Timeline(in, rep.Schedule, *objects, *width))
+
+	sm, _, _ := obs.Derive(in, rep.Schedule)
+	fmt.Printf("\ntxn latency (steps): p50=%d p90=%d p99=%d max=%d\n",
+		sm.TxnLatencyP50, sm.TxnLatencyP90, sm.TxnLatencyP99, sm.TxnLatencyMax)
+	fmt.Printf("object travel total=%d steps; critical path %d txns: %v\n",
+		sm.TotalTravel, len(sm.CriticalPath), sm.CriticalPath)
+	if len(sm.PeakQueueDepth) > 0 {
+		fmt.Printf("hottest nodes by peak queue depth:")
+		for i, nd := range sm.PeakQueueDepth {
+			if i == 4 {
+				break
+			}
+			fmt.Printf(" node%d=%d", nd.Node, nd.Peak)
+		}
+		fmt.Println()
+	}
+
+	for _, f := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{{*out, col.WriteJSONL}, {*chrome, col.WriteChromeTrace}, {*metrics, col.WriteMetrics}} {
+		if f.path == "" {
+			continue
+		}
+		file, err := os.Create(f.path)
+		if err != nil {
+			return err
+		}
+		if err := f.write(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", f.path)
+	}
+	return nil
+}
+
+// traceScheduler resolves the trace subcommand's algorithm: "auto" picks
+// the paper's scheduler for the topology (mirroring the facade), other
+// names resolve through the topology-free table.
+func traceScheduler(alg string, topo topology.Topology, seed int64) (core.Scheduler, error) {
+	if alg == "auto" {
+		switch t := topo.(type) {
+		case *topology.Line:
+			return &core.Line{Topo: t}, nil
+		case *topology.Grid:
+			return &core.Grid{Topo: t}, nil
+		case *topology.ClusterGraph:
+			return &core.Cluster{Topo: t, Rng: xrand.NewDerived(seed, "trace", "cluster")}, nil
+		case *topology.Star:
+			return &core.Star{Topo: t, Rng: xrand.NewDerived(seed, "trace", "star")}, nil
+		default:
+			return &core.Greedy{}, nil
+		}
+	}
+	return genericScheduler(alg, seed)
 }
 
 // runLoaded schedules a persisted instance with an internal scheduler

@@ -187,6 +187,75 @@ func Gantt(in *tm.Instance, s *schedule.Schedule, maxNodes int, maxWidth int64) 
 	return sb.String()
 }
 
+// Timeline renders a run's per-object timeline over simulated steps: one
+// lane per requested object, marking transit hops (>), queue waits at the
+// destination node (=), and use steps (X), with a per-step commit-count
+// footer. It is the text rendering of the same move/wait spans the obs
+// trace recorder exports to Perfetto, so `dtmsched trace` and a Chrome
+// trace of the same run show the same shape.
+func Timeline(in *tm.Instance, s *schedule.Schedule, maxObjects int, maxWidth int64) string {
+	makespan := s.Makespan()
+	if makespan > maxWidth {
+		return fmt.Sprintf("timeline too wide to draw (makespan %d > %d); use the Chrome trace export instead\n",
+			makespan, maxWidth)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Timeline (steps 1…%d; > transit, = queued, X use):\n\n", makespan)
+	shown := 0
+	for o := 0; o < in.NumObjects; o++ {
+		oid := tm.ObjectID(o)
+		order := s.Order(in, oid)
+		if len(order) == 0 {
+			continue
+		}
+		if shown >= maxObjects {
+			fmt.Fprintf(&sb, "… %d more objects\n", in.NumObjects-o)
+			break
+		}
+		shown++
+		lane := make([]byte, makespan+1)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		prevNode := in.Home[oid]
+		prevTime := int64(0)
+		for _, id := range order {
+			dest := in.Txns[id].Node
+			arrive := prevTime + in.Dist(prevNode, dest)
+			used := s.Times[id]
+			for t := prevTime + 1; t <= arrive; t++ {
+				lane[t] = '>'
+			}
+			for t := arrive; t < used; t++ {
+				if t > 0 {
+					lane[t] = '='
+				}
+			}
+			lane[used] = 'X'
+			prevNode, prevTime = dest, used
+		}
+		fmt.Fprintf(&sb, "obj %4d |%s| home=%d users=%d\n", o, lane[1:], in.Home[oid], len(order))
+	}
+	commits := make([]int, makespan+1)
+	for _, t := range s.Times {
+		commits[t]++
+	}
+	var foot strings.Builder
+	for t := int64(1); t <= makespan; t++ {
+		c := commits[t]
+		switch {
+		case c == 0:
+			foot.WriteByte(' ')
+		case c < 10:
+			foot.WriteByte(byte('0' + c))
+		default:
+			foot.WriteByte('+')
+		}
+	}
+	fmt.Fprintf(&sb, "commits  |%s| (per step; + means ≥10)\n", foot.String())
+	return sb.String()
+}
+
 // ObjectJourney renders the route one object takes under a schedule: the
 // sequence of (step, node) handoffs.
 func ObjectJourney(in *tm.Instance, s *schedule.Schedule, o tm.ObjectID) string {

@@ -113,3 +113,37 @@ func TestObjectJourney(t *testing.T) {
 		t.Fatalf("distance annotation missing:\n%s", out)
 	}
 }
+
+func TestTimeline(t *testing.T) {
+	// One object passed down a 6-node line: committed at steps 1, 3, 6
+	// with one step of queueing before the last use.
+	topo := topology.NewLine(6)
+	in := tm.NewInstance(topo.Graph(), graph.FuncMetric(topo.Dist), 1, []tm.Txn{
+		{Node: 1, Objects: []tm.ObjectID{0}},
+		{Node: 3, Objects: []tm.ObjectID{0}},
+		{Node: 5, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+	s := &schedule.Schedule{Times: []int64{1, 3, 6}}
+	out := Timeline(in, s, 10, 100)
+	if !strings.Contains(out, "|X>X>=X|") {
+		t.Errorf("object lane wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|1 1  1|") {
+		t.Errorf("commit footer wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "home=0 users=3") {
+		t.Errorf("lane annotation wrong:\n%s", out)
+	}
+}
+
+func TestTimelineTooWide(t *testing.T) {
+	topo := topology.NewLine(4)
+	in := tm.NewInstance(topo.Graph(), graph.FuncMetric(topo.Dist), 1, []tm.Txn{
+		{Node: 3, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+	s := &schedule.Schedule{Times: []int64{500}}
+	out := Timeline(in, s, 10, 100)
+	if !strings.Contains(out, "too wide") {
+		t.Errorf("expected width fallback, got:\n%s", out)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dtmsched/internal/obs"
 )
 
 // Options configures RunBatch.
@@ -17,6 +19,10 @@ type Options struct {
 	// Hook observes every job's stage completions. Called concurrently
 	// from the workers; must be goroutine-safe.
 	Hook Hook
+	// Collector records stage timings, counters, and run traces for
+	// every job that does not carry its own Job.Collector. Collectors
+	// are goroutine-safe; nil costs nothing.
+	Collector *obs.Collector
 }
 
 // JobResult pairs one job with its outcome. Exactly one of Report / Err is
@@ -68,7 +74,11 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 					results[i] = JobResult{Index: i, Name: jobs[i].Name, Err: err}
 					continue // drain remaining jobs as cancelled
 				}
-				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook))
+				col := jobs[i].Collector
+				if col == nil {
+					col = opt.Collector
+				}
+				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook), col)
 			}
 		}()
 	}
@@ -78,7 +88,7 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 
 // runJob executes one job, converting panics (a buggy scheduler, a bad
 // workload closure) into that job's error.
-func runJob(ctx context.Context, i int, job Job, hook Hook) (res JobResult) {
+func runJob(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector) (res JobResult) {
 	res = JobResult{Index: i, Name: job.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -86,7 +96,7 @@ func runJob(ctx context.Context, i int, job Job, hook Hook) (res JobResult) {
 			res.Err = fmt.Errorf("engine: job %d (%s) panicked: %v", i, job.Name, r)
 		}
 	}()
-	res.Report, res.Err = run(ctx, i, job, hook)
+	res.Report, res.Err = run(ctx, i, job, hook, col)
 	return res
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"dtmsched/internal/core"
 	"dtmsched/internal/lower"
+	"dtmsched/internal/obs"
 	"dtmsched/internal/schedule"
 	"dtmsched/internal/sim"
 	"dtmsched/internal/tm"
@@ -143,6 +144,12 @@ type Job struct {
 	// Hook, when set, observes this job's stage completions (in addition
 	// to any batch-level hook).
 	Hook Hook
+	// Collector, when set, records this job's stage timings, counters,
+	// and (if the collector traces) its full run trace. A nil collector
+	// is free: the no-op path adds zero allocations to the pipeline.
+	// RunBatch jobs without their own collector inherit the batch-level
+	// Options.Collector.
+	Collector *obs.Collector
 }
 
 // Timing records per-stage wall time. Timings are the only
@@ -203,11 +210,11 @@ type Report struct {
 // between stages, so cancellation aborts promptly without leaving partial
 // state anywhere but the returned error.
 func Run(ctx context.Context, job Job) (*Report, error) {
-	return run(ctx, 0, job, job.Hook)
+	return run(ctx, 0, job, job.Hook, job.Collector)
 }
 
-// run is Run with an explicit batch index and composed hook.
-func run(ctx context.Context, idx int, job Job, hook Hook) (*Report, error) {
+// run is Run with an explicit batch index, composed hook, and collector.
+func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -216,6 +223,7 @@ func run(ctx context.Context, idx int, job Job, hook Hook) (*Report, error) {
 		if hook != nil {
 			hook(Event{Job: idx, Name: job.Name, Stage: stage, Elapsed: elapsed, Err: err, Report: rep})
 		}
+		col.Stage(idx, job.Name, stage.String(), elapsed, err)
 	}
 	fail := func(stage Stage, elapsed time.Duration, err error) (*Report, error) {
 		err = fmt.Errorf("engine: %s stage: %w", stage, err)
@@ -276,12 +284,14 @@ func run(ctx context.Context, idx int, job Job, hook Hook) (*Report, error) {
 		return nil, err
 	}
 	t0 = time.Now()
+	var simRes *sim.Result
 	switch job.Verify {
 	case VerifyFull:
 		if err := rep.Schedule.Validate(in); err != nil {
 			return fail(StageVerify, time.Since(t0), fmt.Errorf("%s schedule infeasible: %w", rep.Algorithm, err))
 		}
-		simRes, err := sim.Run(in, rep.Schedule, sim.Options{})
+		var err error
+		simRes, err = sim.Run(in, rep.Schedule, sim.Options{Trace: col.Tracing()})
 		if err != nil {
 			return fail(StageVerify, time.Since(t0), fmt.Errorf("simulator rejected %s schedule: %w", rep.Algorithm, err))
 		}
@@ -318,6 +328,7 @@ func run(ctx context.Context, idx int, job Job, hook Hook) (*Report, error) {
 	emit(StageMeasure, rep.Timing.Measure, nil, nil)
 
 	rep.Timing.Total = time.Since(start)
+	col.RecordRun(idx, job.Name, rep.Algorithm, in, rep.Schedule, simRes)
 	emit(StageDone, rep.Timing.Total, nil, rep)
 	return rep, nil
 }

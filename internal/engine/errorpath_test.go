@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/obs"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+)
+
+// infeasibleJob returns a job whose precomputed schedule violates
+// Definition 1: two transactions on a clique both claim the shared object
+// at step 1, but the second is a distance-1 transfer away.
+func infeasibleJob(name string, mode VerifyMode) Job {
+	topo := topology.NewClique(4)
+	txns := []tm.Txn{
+		{Node: 1, Objects: []tm.ObjectID{0}},
+		{Node: 2, Objects: []tm.ObjectID{0}},
+	}
+	in := tm.NewInstance(topo.Graph(), graph.FuncMetric(topo.Dist), 1, txns, []graph.NodeID{0})
+	return Job{
+		Name:     name,
+		Instance: in,
+		Schedule: &schedule.Schedule{Times: []int64{1, 1}},
+		Verify:   mode,
+	}
+}
+
+// recordHook collects events goroutine-safely and reports whether a
+// failing verify produced exactly one errored StageVerify event and no
+// StageDone.
+type recordHook struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (h *recordHook) hook() Hook {
+	return func(ev Event) {
+		h.mu.Lock()
+		h.events = append(h.events, ev)
+		h.mu.Unlock()
+	}
+}
+
+func (h *recordHook) checkVerifyFailure(t *testing.T, job string) {
+	t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var verifyErrs, dones int
+	for _, ev := range h.events {
+		if ev.Name != job {
+			continue
+		}
+		switch ev.Stage {
+		case StageVerify:
+			if ev.Err == nil {
+				t.Errorf("%s: StageVerify event without error", job)
+			}
+			if ev.Report != nil {
+				t.Errorf("%s: errored verify event carries a report", job)
+			}
+			verifyErrs++
+		case StageDone:
+			dones++
+		}
+	}
+	if verifyErrs != 1 {
+		t.Errorf("%s: saw %d errored verify events, want 1", job, verifyErrs)
+	}
+	if dones != 0 {
+		t.Errorf("%s: saw %d StageDone events after a failed verify, want 0", job, dones)
+	}
+}
+
+func TestVerifyFailureEventsRun(t *testing.T) {
+	for _, mode := range []VerifyMode{VerifyFull, VerifyFast} {
+		t.Run(mode.String(), func(t *testing.T) {
+			h := &recordHook{}
+			job := infeasibleJob("bad-"+mode.String(), mode)
+			job.Hook = h.hook()
+			rep, err := Run(context.Background(), job)
+			if err == nil || rep != nil {
+				t.Fatalf("infeasible schedule passed %s verify: rep=%v err=%v", mode, rep, err)
+			}
+			if !strings.Contains(err.Error(), "verify stage") {
+				t.Errorf("error %q does not name the verify stage", err)
+			}
+			h.checkVerifyFailure(t, job.Name)
+		})
+	}
+}
+
+func TestVerifyFailureEventsRunBatch(t *testing.T) {
+	h := &recordHook{}
+	col := obs.NewMetricsCollector()
+	jobs := []Job{
+		infeasibleJob("bad", VerifyFull),
+		{Name: "good", Gen: cliqueGen(16, 4, 2, 3), Scheduler: testJobs(3)[0].Scheduler},
+	}
+	res, err := RunBatch(context.Background(), jobs, Options{Workers: 2, Hook: h.hook(), Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil || res[0].Report != nil {
+		t.Errorf("infeasible job: report=%v err=%v, want nil report and an error", res[0].Report, res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Report == nil {
+		t.Errorf("good job failed: %v", res[1].Err)
+	}
+	h.checkVerifyFailure(t, "bad")
+	// The collector counted the failure on the verify stage.
+	if got := col.Registry().Counter("engine_stage_errors_total", "stage", "verify").Value(); got != 1 {
+		t.Errorf("verify error counter = %d, want 1", got)
+	}
+	if got := col.Registry().Counter("engine_runs_total").Value(); got != 1 {
+		t.Errorf("runs counter = %d, want 1 (only the good job finished)", got)
+	}
+}
+
+// BenchmarkRunNilCollector pins the no-collector pipeline cost; compare
+// with BenchmarkRunMetricsCollector to see the collector's overhead.
+func BenchmarkRunNilCollector(b *testing.B) {
+	benchmarkRun(b, nil)
+}
+
+func BenchmarkRunMetricsCollector(b *testing.B) {
+	benchmarkRun(b, obs.NewMetricsCollector())
+}
+
+func benchmarkRun(b *testing.B, col *obs.Collector) {
+	job := Job{Name: "bench", Gen: cliqueGen(32, 8, 2, 7), Scheduler: testJobs(7)[0].Scheduler, Collector: col}
+	in, err := job.Gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	job.Instance, job.Gen = in, nil
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

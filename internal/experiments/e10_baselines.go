@@ -30,7 +30,7 @@ func init() {
 func runE10(cfg Config) (*Result, error) {
 	k, trials := 2, cfg.Trials
 	res := &Result{ID: "E10", Title: "Ablation: paper schedulers vs naive baselines on every topology", Ref: "all upper-bound sections",
-		Table: stats.NewTable("topology", "n", "paperAlg", "r(paper)", "r(seq)", "r(list)", "r(rand)", "winner")}
+		Table: stats.NewTable("topology", "n", "paperAlg", "r(paper)", "r(seq)", "r(list)", "r(rand)", "p50(paper)", "p99(paper)", "winner")}
 	beatSeqFlat := true // on diameter-dominated topologies
 	withinBest := true  // ≤ 4× the best baseline everywhere
 
@@ -142,7 +142,7 @@ func runE10(cfg Config) (*Result, error) {
 				winner, bestR = c.name, c.r
 			}
 		}
-		res.Table.AddRowf(su.name, sizes[si], algNames[si], rp, rs, rl, rr, winner)
+		res.Table.AddRowf(su.name, sizes[si], algNames[si], rp, rs, rl, rr, meanP50(paper), meanP99(paper), winner)
 	}
 	res.Checks = append(res.Checks,
 		checkf("paper scheduler beats the global lock on clique/hypercube/butterfly/line", beatSeqFlat,
@@ -182,7 +182,7 @@ func runE11(cfg Config) (*Result, error) {
 			rng := xrand.NewDerived(cfg.Seed, "E11", fmt.Sprint(tile), fmt.Sprint(trial))
 			topo := topology.NewSquareGrid(side)
 			in := tm.UniformK(w, k).Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-			c, err := runCell(in, &core.Grid{Topo: topo, SideOverride: tile})
+			c, err := runCell(cfg, in, &core.Grid{Topo: topo, SideOverride: tile})
 			if err != nil {
 				return nil, err
 			}

@@ -125,7 +125,7 @@ func runE16(cfg Config) (*Result, error) {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			in := su.mk(cfg.Seed + int64(trial))
 			run := func(g *core.Greedy) (float64, error) {
-				r, err := runCell(in, g)
+				r, err := runCell(cfg, in, g)
 				if err != nil {
 					return 0, err
 				}

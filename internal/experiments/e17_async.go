@@ -40,7 +40,7 @@ func runE17(cfg Config) (*Result, error) {
 			base := topology.NewClique(n)
 			st := topology.Stretch(rng, base, f)
 			in := tm.UniformK(w, k).Generate(rng, st.Graph(), metric(st), st.Graph().Nodes(), tm.PlaceAtRandomUser)
-			c, err := runCell(in, &core.Greedy{})
+			c, err := runCell(cfg, in, &core.Greedy{})
 			if err != nil {
 				return nil, err
 			}
@@ -108,15 +108,15 @@ func runE18(cfg Config) (*Result, error) {
 		var tp, cp, tc, cc, trd, crd float64
 		for trial := 0; trial < cfg.Trials; trial++ {
 			in, paperSched := su.mk(cfg.Seed + int64(trial))
-			p, err := runCell(in, paperSched)
+			p, err := runCell(cfg, in, paperSched)
 			if err != nil {
 				return nil, err
 			}
-			comm, err := runCell(in, baseline.List{Order: baseline.NearestOrder(in)})
+			comm, err := runCell(cfg, in, baseline.List{Order: baseline.NearestOrder(in)})
 			if err != nil {
 				return nil, err
 			}
-			rnd, err := runCell(in, baseline.Random{Rng: xrand.NewDerived(cfg.Seed, "E18", su.name, fmt.Sprint(trial))})
+			rnd, err := runCell(cfg, in, baseline.Random{Rng: xrand.NewDerived(cfg.Seed, "E18", su.name, fmt.Sprint(trial))})
 			if err != nil {
 				return nil, err
 			}

@@ -93,7 +93,7 @@ func runE6(cfg Config) (*Result, error) {
 		topo := topology.NewCluster(8, 8, 16)
 		wl := tm.PartitionedK(8*8, 2, 8, func(v graph.NodeID) int { return topo.ClusterOf(v) })
 		in := wl.Generate(rng, topo.Graph(), metric(topo), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
-		c, err := runCell(in, &core.Cluster{Topo: topo, Approach: core.ClusterApproach1})
+		c, err := runCell(cfg, in, &core.Cluster{Topo: topo, Approach: core.ClusterApproach1})
 		if err != nil {
 			return nil, err
 		}

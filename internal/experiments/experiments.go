@@ -18,6 +18,7 @@ import (
 	"dtmsched/internal/core"
 	"dtmsched/internal/engine"
 	"dtmsched/internal/lower"
+	"dtmsched/internal/obs"
 	"dtmsched/internal/schedule"
 	"dtmsched/internal/stats"
 	"dtmsched/internal/tm"
@@ -38,6 +39,10 @@ type Config struct {
 	Workers int
 	// Ctx cancels long sweeps mid-flight; nil means Background.
 	Ctx context.Context
+	// Collector, when set, receives stage timings, counters, and
+	// (depending on its configuration) run traces from every engine job
+	// the experiments execute. Nil costs nothing.
+	Collector *obs.Collector
 }
 
 // context returns the sweep's cancellation context.
@@ -116,6 +121,9 @@ type cell struct {
 	Bound    lower.Bound
 	CommCost int64
 	Stats    map[string]int64
+	// P50/P99 are per-transaction latency percentiles: the step at which
+	// a transaction commits, counted from batch activation at step 0.
+	P50, P99 int64
 }
 
 // Ratio is makespan over the certified lower bound.
@@ -128,15 +136,20 @@ func (c cell) Ratio() float64 {
 
 // cellFromReport converts an engine report into a measurement cell.
 func cellFromReport(r *engine.Report) cell {
-	return cell{Makespan: r.Makespan, Bound: r.Bound, CommCost: r.CommCost, Stats: r.Stats}
+	c := cell{Makespan: r.Makespan, Bound: r.Bound, CommCost: r.CommCost, Stats: r.Stats}
+	if r.Schedule != nil {
+		q := obs.Quantiles(r.Schedule.Times, 0.50, 0.99)
+		c.P50, c.P99 = q[0], q[1]
+	}
+	return c
 }
 
 // runCell schedules in with sched through the engine pipeline (full
 // verification: algebraic + synchronous simulator) and measures it against
 // the instance lower bound. Any infeasibility is a hard error: the
 // experiments never report unverified schedules.
-func runCell(in *tm.Instance, sched core.Scheduler) (cell, error) {
-	rep, err := engine.Run(context.Background(), engine.Job{Instance: in, Scheduler: sched})
+func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: in, Scheduler: sched, Collector: cfg.Collector})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
 	}
@@ -144,8 +157,8 @@ func runCell(in *tm.Instance, sched core.Scheduler) (cell, error) {
 }
 
 // runSchedule is runCell for a precomputed schedule.
-func runSchedule(in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
-	rep, err := engine.Run(context.Background(), engine.Job{Instance: in, Schedule: s, Algorithm: name})
+func runSchedule(cfg Config, in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: in, Schedule: s, Algorithm: name, Collector: cfg.Collector})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -193,7 +206,7 @@ func (s *sweep) run() ([][]cell, error) {
 	if s.open > 0 {
 		s.endCell()
 	}
-	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{Workers: s.cfg.Workers})
+	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{Workers: s.cfg.Workers, Collector: s.cfg.Collector})
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +247,29 @@ func meanMakespan(cells []cell) float64 {
 	var sum float64
 	for _, c := range cells {
 		sum += float64(c.Makespan)
+	}
+	return sum / float64(len(cells))
+}
+
+// meanP50 and meanP99 average cells' per-transaction latency percentiles.
+func meanP50(cells []cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += float64(c.P50)
+	}
+	return sum / float64(len(cells))
+}
+
+func meanP99(cells []cell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += float64(c.P99)
 	}
 	return sum / float64(len(cells))
 }

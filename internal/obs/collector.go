@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/sim"
+	"dtmsched/internal/tm"
+)
+
+// Config tunes a Collector.
+type Config struct {
+	// Traces retains full per-run traces (move/exec spans and derived
+	// schedule metrics) for JSONL / Chrome export. Off, the collector is
+	// metrics-only: the registry still aggregates latency, travel, and
+	// stage counters, but memory stays O(metrics) for arbitrarily large
+	// sweeps.
+	Traces bool
+	// WallClock includes wall-clock stage durations in trace exports.
+	// Off by default because wall times are the only non-deterministic
+	// field a trace could carry; leaving them out makes trace files
+	// byte-identical across runs and worker counts.
+	WallClock bool
+	// MaxTraceRuns caps the number of retained run traces (0 = no cap).
+	// Runs beyond the cap still feed the registry. The retained set is
+	// the lowest (job, name) keys, so it is deterministic under
+	// concurrent recording.
+	MaxTraceRuns int
+}
+
+// Collector aggregates observability for a set of engine runs: a metrics
+// Registry fed by every stage completion and finished run, and (when
+// Config.Traces is set) structured per-run traces. All methods are safe
+// for concurrent use by RunBatch workers, and all methods are no-ops on a
+// nil receiver — the engine calls them unconditionally, and the nil path
+// costs zero allocations (enforced by TestNilCollectorZeroAllocs).
+type Collector struct {
+	cfg Config
+	reg *Registry
+
+	mu    sync.Mutex
+	runs  []*runTrace
+	index map[runKey]*runTrace
+}
+
+// runKey identifies a run trace: the job index within its batch plus the
+// job name (names disambiguate jobs from different batches sharing an
+// index).
+type runKey struct {
+	job  int
+	name string
+}
+
+// NewCollector returns a collector with trace retention enabled — the
+// configuration behind dtmbench -trace and dtmsched trace.
+func NewCollector() *Collector { return NewCollectorConfig(Config{Traces: true}) }
+
+// NewMetricsCollector returns a metrics-only collector (no trace
+// retention), suitable for full-size sweeps.
+func NewMetricsCollector() *Collector { return NewCollectorConfig(Config{}) }
+
+// NewCollectorConfig returns a collector with explicit configuration.
+func NewCollectorConfig(cfg Config) *Collector {
+	return &Collector{cfg: cfg, reg: NewRegistry()}
+}
+
+// Registry exposes the collector's metric registry (nil-safe).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Tracing reports whether the collector retains run traces. The engine
+// uses it to decide whether the simulator should record its event stream.
+func (c *Collector) Tracing() bool { return c != nil && c.cfg.Traces }
+
+// Stage records one pipeline stage completion: per-stage wall time and
+// completion/error counters in the registry, plus a stage record on the
+// job's trace when tracing. The stage string is the engine's Stage name
+// ("generate", "schedule", "verify", "measure", "done").
+func (c *Collector) Stage(job int, name, stage string, wall time.Duration, err error) {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("engine_stage_wall_us", "stage", stage).Add(wall.Microseconds())
+	c.reg.Counter("engine_stage_total", "stage", stage).Inc()
+	if err != nil {
+		c.reg.Counter("engine_stage_errors_total", "stage", stage).Inc()
+	}
+	if !c.cfg.Traces {
+		return
+	}
+	r := c.run(job, name)
+	rec := stageRec{Stage: stage, WallUS: wall.Microseconds()}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	c.mu.Lock()
+	r.Stages = append(r.Stages, rec)
+	c.mu.Unlock()
+}
+
+// run returns (creating if needed) the trace for (job, name).
+func (c *Collector) run(job int, name string) *runTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.index == nil {
+		c.index = map[runKey]*runTrace{}
+	}
+	if r, ok := c.index[runKey{job, name}]; ok {
+		return r
+	}
+	r := &runTrace{Job: job, Name: name}
+	c.index[runKey{job, name}] = r
+	c.runs = append(c.runs, r)
+	return r
+}
+
+// RecordRun records one finished run: latency/travel histograms and engine
+// counters always; the full trace (move/exec spans, derived schedule
+// metrics) when tracing. simRes may be nil (VerifyFast / VerifyOff): the
+// collector then synthesizes the identical span stream from the schedule
+// under the same synchronous timing semantics the simulator enforces, so
+// traces do not depend on the verify policy. When simRes carries a
+// recorded event stream, the spans are built from those events instead.
+func (c *Collector) RecordRun(job int, name, algorithm string, in *tm.Instance, s *schedule.Schedule, simRes *sim.Result) {
+	if c == nil || in == nil || s == nil {
+		return
+	}
+	c.reg.Counter("engine_runs_total").Inc()
+	c.reg.Counter("engine_runs_total", "algorithm", algorithm).Inc()
+	latency := c.reg.Histogram("txn_latency_steps", nil)
+	for _, t := range s.Times {
+		latency.Observe(t)
+	}
+	c.reg.Gauge("makespan_steps_max").Max(s.Makespan())
+	if simRes != nil {
+		c.reg.Counter("sim_steps_total").Add(simRes.Makespan)
+		c.reg.Counter("object_moves_total").Add(simRes.Moves)
+		c.reg.Counter("txns_executed_total").Add(int64(simRes.Executed))
+		c.reg.Counter("comm_cost_total").Add(simRes.CommCost)
+	}
+
+	if !c.cfg.Traces {
+		// Metrics-only: observe per-object travel without building spans.
+		travel := c.reg.Histogram("object_travel_steps", nil)
+		if simRes != nil {
+			for _, d := range simRes.ObjectDistance {
+				travel.Observe(d)
+			}
+		} else {
+			for o := 0; o < in.NumObjects; o++ {
+				var sum int64
+				route := s.Route(in, tm.ObjectID(o))
+				for i := 0; i+1 < len(route); i++ {
+					sum += in.Dist(route[i], route[i+1])
+				}
+				travel.Observe(sum)
+			}
+		}
+		return
+	}
+
+	metrics, moves, execs := Derive(in, s)
+	if simRes != nil && len(simRes.Events) > 0 {
+		moves, execs = spansFromEvents(in, s, simRes.Events)
+	}
+	travel := c.reg.Histogram("object_travel_steps", nil)
+	for _, d := range metrics.ObjectTravel {
+		travel.Observe(d)
+	}
+	for _, nd := range metrics.PeakQueueDepth {
+		c.reg.Gauge("queue_depth_peak").Max(nd.Peak)
+	}
+
+	r := c.run(job, name)
+	c.mu.Lock()
+	r.Algorithm = algorithm
+	r.Makespan = s.Makespan()
+	r.Metrics = metrics
+	r.Moves = moves
+	r.Execs = execs
+	over := c.cfg.MaxTraceRuns > 0 && len(c.runs) > c.cfg.MaxTraceRuns
+	c.mu.Unlock()
+	if over {
+		c.trimRuns()
+	}
+}
+
+// trimRuns drops the highest-keyed traces beyond MaxTraceRuns, keeping the
+// retained set deterministic regardless of recording order.
+func (c *Collector) trimRuns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.MaxTraceRuns <= 0 || len(c.runs) <= c.cfg.MaxTraceRuns {
+		return
+	}
+	runs := append([]*runTrace(nil), c.runs...)
+	sortRuns(runs)
+	c.runs = runs[:c.cfg.MaxTraceRuns]
+	c.index = make(map[runKey]*runTrace, len(c.runs))
+	for _, r := range c.runs {
+		c.index[runKey{r.Job, r.Name}] = r
+	}
+}
+
+// sortRuns orders traces by (job, name).
+func sortRuns(runs []*runTrace) {
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].Job != runs[j].Job {
+			return runs[i].Job < runs[j].Job
+		}
+		return runs[i].Name < runs[j].Name
+	})
+}
+
+// spansFromEvents converts a simulator event stream into move/exec spans.
+// The result is identical to Derive's synthesis — the simulator emits one
+// depart/arrive pair per nonzero-distance relocation and one execute per
+// commit under the same timing model — but using the stream keeps the
+// trace a faithful subscription to what the simulator actually did.
+func spansFromEvents(in *tm.Instance, s *schedule.Schedule, events []sim.Event) ([]Move, []Exec) {
+	var moves []Move
+	var execs []Exec
+	for _, ev := range events {
+		switch ev.Kind {
+		case sim.EventDepart:
+			moves = append(moves, Move{
+				Object: int(ev.Object), Txn: int(ev.Txn), From: int(ev.From), To: int(ev.To),
+				Depart: ev.Step, Arrive: ev.Step + in.Dist(ev.From, ev.To), Used: s.Times[ev.Txn],
+			})
+		case sim.EventExecute:
+			execs = append(execs, Exec{Txn: int(ev.Txn), Node: int(ev.Node), Step: ev.Step})
+		}
+	}
+	sortMoves(moves)
+	sortExecs(execs)
+	return moves, execs
+}
+
+func sortMoves(moves []Move) {
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].Object != moves[j].Object {
+			return moves[i].Object < moves[j].Object
+		}
+		return moves[i].Depart < moves[j].Depart
+	})
+}
+
+func sortExecs(execs []Exec) {
+	sort.Slice(execs, func(i, j int) bool {
+		if execs[i].Step != execs[j].Step {
+			return execs[i].Step < execs[j].Step
+		}
+		return execs[i].Txn < execs[j].Txn
+	})
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorZeroAllocs(t *testing.T) {
+	var c *Collector
+	in, s := lineInstance()
+	err := errors.New("boom")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Stage(0, "job", "verify", time.Millisecond, nil)
+		c.Stage(0, "job", "verify", time.Millisecond, err)
+		c.RecordRun(0, "job", "alg", in, s, nil)
+		if c.Tracing() {
+			t.Fatal("nil collector must not trace")
+		}
+		c.Registry().Counter("x").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil collector path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestCollectorStageMetrics(t *testing.T) {
+	c := NewMetricsCollector()
+	c.Stage(0, "j", "schedule", 1500*time.Microsecond, nil)
+	c.Stage(1, "k", "schedule", 500*time.Microsecond, nil)
+	c.Stage(1, "k", "verify", time.Millisecond, errors.New("infeasible"))
+	reg := c.Registry()
+	if got := reg.Counter("engine_stage_wall_us", "stage", "schedule").Value(); got != 2000 {
+		t.Errorf("schedule wall = %dµs, want 2000", got)
+	}
+	if got := reg.Counter("engine_stage_total", "stage", "schedule").Value(); got != 2 {
+		t.Errorf("schedule completions = %d, want 2", got)
+	}
+	if got := reg.Counter("engine_stage_errors_total", "stage", "verify").Value(); got != 1 {
+		t.Errorf("verify errors = %d, want 1", got)
+	}
+	// Metrics-only collector retains no traces.
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("metrics-only collector exported %d bytes of trace", buf.Len())
+	}
+}
+
+func TestCollectorRecordRun(t *testing.T) {
+	in, s := lineInstance()
+	c := NewCollector()
+	c.Stage(0, "line-run", "schedule", time.Millisecond, nil)
+	c.RecordRun(0, "line-run", "test-alg", in, s, nil)
+
+	reg := c.Registry()
+	if got := reg.Counter("engine_runs_total").Value(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	lat := reg.Histogram("txn_latency_steps", nil)
+	if lat.Count() != 3 || lat.Sum() != 10 {
+		t.Errorf("latency histogram count=%d sum=%d, want 3/10", lat.Count(), lat.Sum())
+	}
+	travel := reg.Histogram("object_travel_steps", nil)
+	if travel.Count() != 1 || travel.Sum() != 5 {
+		t.Errorf("travel histogram count=%d sum=%d, want 1/5", travel.Count(), travel.Sum())
+	}
+	if got := reg.Gauge("makespan_steps_max").Value(); got != 6 {
+		t.Errorf("makespan gauge = %d, want 6", got)
+	}
+
+	var jsonl, chrome, metrics bytes.Buffer
+	if err := c.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ev":"run"`, `"ev":"stage"`, `"ev":"move"`, `"ev":"exec"`, `"ev":"metrics"`, `"algorithm":"test-alg"`} {
+		if !strings.Contains(jsonl.String(), want) {
+			t.Errorf("JSONL missing %s", want)
+		}
+	}
+	if strings.Contains(jsonl.String(), "wall_us") {
+		t.Error("JSONL leaked wall-clock times without WallClock opt-in")
+	}
+	if err := c.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph":"M"`, `"ph":"X"`, `"cat":"move"`, `"cat":"txn"`, `"cat":"wait"`} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Errorf("Chrome trace missing %s", want)
+		}
+	}
+	if err := c.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"txn_latency_steps", "object_travel_steps", "queue_depth", "link_utilization", "critical_path"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics snapshot missing %s", want)
+		}
+	}
+}
+
+func TestWallClockOptIn(t *testing.T) {
+	in, s := lineInstance()
+	c := NewCollectorConfig(Config{Traces: true, WallClock: true})
+	c.Stage(0, "j", "schedule", 2*time.Millisecond, nil)
+	c.RecordRun(0, "j", "a", in, s, nil)
+	var jsonl bytes.Buffer
+	if err := c.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"wall_us":2000`) {
+		t.Error("WallClock collector should export stage wall times")
+	}
+	var chrome bytes.Buffer
+	if err := c.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"cat":"stage"`) {
+		t.Error("WallClock collector should export pipeline stage spans")
+	}
+}
+
+func TestMaxTraceRuns(t *testing.T) {
+	in, s := lineInstance()
+	c := NewCollectorConfig(Config{Traces: true, MaxTraceRuns: 2})
+	// Record out of order: retention must keep the lowest (job, name)
+	// keys regardless of arrival order.
+	for _, job := range []int{3, 1, 2, 0} {
+		c.RecordRun(job, "j", "a", in, s, nil)
+	}
+	runs := c.sortedRuns()
+	if len(runs) != 2 {
+		t.Fatalf("retained %d runs, want 2", len(runs))
+	}
+	if runs[0].Job != 0 || runs[1].Job != 1 {
+		t.Errorf("retained jobs %d,%d — want 0,1", runs[0].Job, runs[1].Job)
+	}
+}

@@ -1,0 +1,287 @@
+// Derived schedule metrics: everything here is computed deterministically
+// from an (instance, schedule) pair under the paper's synchronous timing
+// semantics, so the numbers agree exactly with what the simulator measures
+// and are reproducible across worker counts and verify policies.
+package obs
+
+import (
+	"sort"
+
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// Move is one object relocation: the object departs From after the step
+// Depart (its previous holder's commit, or step 0 from its home) and
+// arrives at To at step Arrive = Depart + distance. Used is the step at
+// which the receiving transaction executes, so Used − Arrive is the
+// object's queueing delay at the destination.
+type Move struct {
+	Object int   `json:"object"`
+	Txn    int   `json:"txn"`
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Depart int64 `json:"depart"`
+	Arrive int64 `json:"arrive"`
+	Used   int64 `json:"used"`
+}
+
+// Exec is one transaction commit.
+type Exec struct {
+	Txn  int   `json:"txn"`
+	Node int   `json:"node"`
+	Step int64 `json:"step"`
+}
+
+// Series is a per-step time series, possibly downsampled: Values[i] covers
+// steps [i·Stride, (i+1)·Stride) and holds the maximum over the window.
+type Series struct {
+	Stride int64   `json:"stride"`
+	Values []int64 `json:"values"`
+}
+
+// maxSeriesPoints bounds exported series length; longer series are
+// downsampled by a power-of-two stride (window maximum), which keeps the
+// export deterministic and Perfetto/plot friendly.
+const maxSeriesPoints = 512
+
+func downsample(values []int64) Series {
+	stride := int64(1)
+	for int64(len(values)) > stride*maxSeriesPoints {
+		stride *= 2
+	}
+	if stride == 1 {
+		return Series{Stride: 1, Values: values}
+	}
+	out := make([]int64, 0, (int64(len(values))+stride-1)/stride)
+	for i := 0; i < len(values); i += int(stride) {
+		end := i + int(stride)
+		if end > len(values) {
+			end = len(values)
+		}
+		var m int64
+		for _, v := range values[i:end] {
+			if v > m {
+				m = v
+			}
+		}
+		out = append(out, m)
+	}
+	return Series{Stride: stride, Values: out}
+}
+
+// NodeDepth is the peak number of objects queued (arrived but not yet
+// consumed) at one node.
+type NodeDepth struct {
+	Node int   `json:"node"`
+	Peak int64 `json:"peak"`
+}
+
+// ScheduleMetrics is the time-resolved shape of one run's schedule.
+type ScheduleMetrics struct {
+	Makespan int64 `json:"makespan"`
+	// TxnLatencyP50/P90/P99/Max summarize per-transaction latency: the
+	// step at which each transaction commits, counted from batch
+	// activation at step 0.
+	TxnLatencyP50 int64 `json:"txn_latency_p50"`
+	TxnLatencyP90 int64 `json:"txn_latency_p90"`
+	TxnLatencyP99 int64 `json:"txn_latency_p99"`
+	TxnLatencyMax int64 `json:"txn_latency_max"`
+	// ObjectTravel[o] is the total distance object o travels.
+	ObjectTravel []int64 `json:"object_travel"`
+	// TotalTravel is the summed travel (= the simulator's CommCost).
+	TotalTravel int64 `json:"total_travel"`
+	// QueueDepth is the total number of objects sitting at some
+	// requester's node waiting to be used, per step.
+	QueueDepth Series `json:"queue_depth"`
+	// PeakQueueDepth lists nodes by their peak local queue depth
+	// (descending; ties by node ID), capped at the 16 hottest nodes.
+	PeakQueueDepth []NodeDepth `json:"peak_queue_depth"`
+	// LinkUtilization is the number of objects in transit (occupying
+	// links) per step — the network-load profile of the schedule.
+	LinkUtilization Series `json:"link_utilization"`
+	// CriticalPath is the longest chain of tight object handoffs
+	// (T_{i+1} executes exactly when T_i's object can first arrive);
+	// its length is what pins the makespan from below.
+	CriticalPath []int `json:"critical_path"`
+}
+
+// Derive computes the schedule metrics plus the full move/exec span lists
+// for an (instance, schedule) pair. The spans reproduce exactly the
+// object movements the simulator would perform (dispatch at commit, travel
+// one unit of distance per step), so traces are identical whether or not
+// the verify policy actually ran the simulator.
+func Derive(in *tm.Instance, s *schedule.Schedule) (*ScheduleMetrics, []Move, []Exec) {
+	m := &ScheduleMetrics{Makespan: s.Makespan(), ObjectTravel: make([]int64, in.NumObjects)}
+
+	// Transaction latency distribution and execute spans.
+	lat := make([]int64, len(s.Times))
+	execs := make([]Exec, len(s.Times))
+	for i, t := range s.Times {
+		lat[i] = t
+		execs[i] = Exec{Txn: i, Node: int(in.Txns[i].Node), Step: t}
+	}
+	sort.Slice(execs, func(i, j int) bool {
+		if execs[i].Step != execs[j].Step {
+			return execs[i].Step < execs[j].Step
+		}
+		return execs[i].Txn < execs[j].Txn
+	})
+	q := Quantiles(lat, 0.50, 0.90, 0.99, 1.0)
+	m.TxnLatencyP50, m.TxnLatencyP90, m.TxnLatencyP99, m.TxnLatencyMax = q[0], q[1], q[2], q[3]
+
+	// Object itineraries → move spans, travel, queue/transit series. An
+	// object is "in transit" during the d steps after its dispatch and
+	// "queued" at its destination from arrival until its requester
+	// executes — the same semantics the simulator enforces.
+	steps := m.Makespan + 1
+	queue := make([]int64, steps)
+	transit := make([]int64, steps)
+	type interval struct {
+		node   int
+		lo, hi int64 // queued at node during [lo, hi)
+	}
+	var ivs []interval
+	var moves []Move
+	for o := 0; o < in.NumObjects; o++ {
+		oid := tm.ObjectID(o)
+		order := s.Order(in, oid)
+		prevNode := in.Home[oid]
+		prevTime := int64(0)
+		for _, id := range order {
+			dest := in.Txns[id].Node
+			d := in.Dist(prevNode, dest)
+			arrive := prevTime + d
+			used := s.Times[id]
+			m.ObjectTravel[o] += d
+			if d > 0 {
+				moves = append(moves, Move{Object: o, Txn: int(id), From: int(prevNode), To: int(dest),
+					Depart: prevTime, Arrive: arrive, Used: used})
+			}
+			for t := prevTime + 1; t <= arrive && t < steps; t++ {
+				transit[t]++
+			}
+			for t := arrive; t < used && t < steps; t++ {
+				queue[t]++
+			}
+			if used > arrive {
+				ivs = append(ivs, interval{int(dest), arrive, used})
+			}
+			prevNode, prevTime = dest, used
+		}
+		m.TotalTravel += m.ObjectTravel[o]
+	}
+
+	// Per-node peak queue depth: sweep each node's [arrive, used)
+	// intervals for maximum overlap.
+	byNode := map[int][]interval{}
+	for _, iv := range ivs {
+		byNode[iv.node] = append(byNode[iv.node], iv)
+	}
+	for node, list := range byNode {
+		type ev struct {
+			t int64
+			d int64
+		}
+		evs := make([]ev, 0, 2*len(list))
+		for _, iv := range list {
+			evs = append(evs, ev{iv.lo, +1}, ev{iv.hi, -1})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].d < evs[j].d // close before open at the same step
+		})
+		var cur, best int64
+		for _, e := range evs {
+			cur += e.d
+			if cur > best {
+				best = cur
+			}
+		}
+		if best > 0 {
+			m.PeakQueueDepth = append(m.PeakQueueDepth, NodeDepth{Node: node, Peak: best})
+		}
+	}
+	sort.Slice(m.PeakQueueDepth, func(i, j int) bool {
+		if m.PeakQueueDepth[i].Peak != m.PeakQueueDepth[j].Peak {
+			return m.PeakQueueDepth[i].Peak > m.PeakQueueDepth[j].Peak
+		}
+		return m.PeakQueueDepth[i].Node < m.PeakQueueDepth[j].Node
+	})
+	if len(m.PeakQueueDepth) > 16 {
+		m.PeakQueueDepth = m.PeakQueueDepth[:16]
+	}
+
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].Object != moves[j].Object {
+			return moves[i].Object < moves[j].Object
+		}
+		return moves[i].Depart < moves[j].Depart
+	})
+
+	m.QueueDepth = downsample(queue)
+	m.LinkUtilization = downsample(transit)
+	m.CriticalPath = criticalPath(in, s)
+	return m, moves, execs
+}
+
+// criticalPath finds the longest chain T_1 → T_2 → … where consecutive
+// transactions share an object and each successor executes exactly when
+// the object can first arrive from its predecessor (a tight handoff) —
+// the event-stream witness for why the makespan is what it is.
+func criticalPath(in *tm.Instance, s *schedule.Schedule) []int {
+	n := in.NumTxns()
+	preds := make([][]tm.TxnID, n)
+	for o := 0; o < in.NumObjects; o++ {
+		order := s.Order(in, tm.ObjectID(o))
+		for i := 0; i+1 < len(order); i++ {
+			a, b := order[i], order[i+1]
+			if s.Times[b] == s.Times[a]+in.Dist(in.Txns[a].Node, in.Txns[b].Node) {
+				preds[b] = append(preds[b], a)
+			}
+		}
+	}
+	order := make([]tm.TxnID, n)
+	for i := range order {
+		order[i] = tm.TxnID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := s.Times[order[a]], s.Times[order[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return order[a] < order[b]
+	})
+	bestLen := make([]int, n)
+	bestPrev := make([]tm.TxnID, n)
+	var tail tm.TxnID = -1
+	tailLen := 0
+	for i := range bestPrev {
+		bestPrev[i] = -1
+	}
+	for _, id := range order {
+		bestLen[id] = 1
+		for _, p := range preds[id] {
+			if bestLen[p]+1 > bestLen[id] {
+				bestLen[id] = bestLen[p] + 1
+				bestPrev[id] = p
+			}
+		}
+		if bestLen[id] > tailLen || (bestLen[id] == tailLen && (tail == -1 || id < tail)) {
+			tailLen, tail = bestLen[id], id
+		}
+	}
+	if tail < 0 {
+		return nil
+	}
+	chain := make([]int, 0, tailLen)
+	for t := tail; t >= 0; t = bestPrev[t] {
+		chain = append(chain, int(t))
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

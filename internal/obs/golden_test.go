@@ -1,0 +1,130 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtmsched/internal/baseline"
+	"dtmsched/internal/core"
+	"dtmsched/internal/engine"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/obs"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenJobs is a small deterministic multi-algorithm batch. A factory:
+// jobs must be rebuilt for every RunBatch call.
+func goldenJobs() []engine.Job {
+	gen := func(n int) func() (*tm.Instance, error) {
+		return func() (*tm.Instance, error) {
+			topo := topology.NewClique(n)
+			rng := xrand.NewDerived(11, "obs-golden", fmt.Sprint(n))
+			in := tm.UniformK(n/3, 2).Generate(rng, topo.Graph(),
+				graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+			return in, nil
+		}
+	}
+	var jobs []engine.Job
+	for _, n := range []int{12, 18} {
+		jobs = append(jobs,
+			engine.Job{Name: fmt.Sprintf("greedy/%d", n), Gen: gen(n), Scheduler: &core.Greedy{}},
+			engine.Job{Name: fmt.Sprintf("seq/%d", n), Gen: gen(n), Scheduler: baseline.Sequential{}},
+			engine.Job{Name: fmt.Sprintf("list/%d", n), Gen: gen(n), Scheduler: baseline.List{}},
+		)
+	}
+	return jobs
+}
+
+// collect runs the golden batch under the given worker count and returns
+// the exported JSONL and Chrome trace bytes.
+func collect(t *testing.T, workers int) (jsonl, chrome []byte) {
+	t.Helper()
+	col := obs.NewCollector()
+	if _, err := engine.RunBatch(context.Background(), goldenJobs(),
+		engine.Options{Workers: workers, Collector: col}); err != nil {
+		t.Fatal(err)
+	}
+	var j, c bytes.Buffer
+	if err := col.WriteJSONL(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteChromeTrace(&c); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes(), c.Bytes()
+}
+
+// TestTraceGolden pins trace export determinism: the same batch traced
+// under 1 worker and 8 workers must export byte-identical JSONL and
+// Chrome traces, and both must match the committed golden files.
+func TestTraceGolden(t *testing.T) {
+	jsonl1, chrome1 := collect(t, 1)
+	jsonl8, chrome8 := collect(t, 8)
+	if !bytes.Equal(jsonl1, jsonl8) {
+		t.Error("JSONL trace differs between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(chrome1, chrome8) {
+		t.Error("Chrome trace differs between -parallel 1 and -parallel 8")
+	}
+
+	goldens := []struct {
+		file string
+		got  []byte
+	}{
+		{"golden.jsonl", jsonl1},
+		{"golden.chrome.json", chrome1},
+	}
+	for _, g := range goldens {
+		path := filepath.Join("testdata", g.file)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run `go test ./internal/obs -run TraceGolden -update`): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted from golden (%d bytes vs %d); rerun with -update if intentional",
+				g.file, len(g.got), len(want))
+		}
+	}
+}
+
+// TestCollectorDoesNotPerturbReports: attaching a collector must not
+// change any report the engine produces.
+func TestCollectorDoesNotPerturbReports(t *testing.T) {
+	run := func(col *obs.Collector) []engine.JobResult {
+		res, err := engine.RunBatch(context.Background(), goldenJobs(),
+			engine.Options{Workers: 4, Collector: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(obs.NewCollector())
+	for i := range plain {
+		a, b := plain[i].Report, traced[i].Report
+		if a == nil || b == nil {
+			t.Fatalf("job %d failed: %v / %v", i, plain[i].Err, traced[i].Err)
+		}
+		if a.Makespan != b.Makespan || a.CommCost != b.CommCost || a.Counters != b.Counters {
+			t.Errorf("job %q report changed under collector: %+v vs %+v", a.Name, a, b)
+		}
+	}
+}

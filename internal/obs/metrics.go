@@ -1,0 +1,378 @@
+// Package obs is the observability layer of the reproduction: a lock-free
+// metrics registry (counters, gauges, fixed-bucket histograms backed by
+// sync/atomic), a trace recorder that turns engine pipeline events and
+// simulator event streams into structured JSONL and Chrome trace-event
+// files (loadable in Perfetto / chrome://tracing), and derived schedule
+// metrics — per-transaction latency, per-object travel, queue depth and
+// link utilization over simulated steps, critical-path extraction.
+//
+// The paper's theorems are statements about schedule *shape* (makespan vs.
+// object travel, congestion at hot nodes, per-window latency); this package
+// makes that shape measurable per run instead of reducing every run to
+// three scalars. Everything is nil-safe: a nil *Collector is a no-op that
+// adds zero allocations to the engine hot path, so observability is free
+// when not requested.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds d (d may be any sign, but counters are conventionally monotone).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Max raises the gauge to v if v is larger (atomic CAS loop).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bounds[i] is the inclusive upper
+// bound of bucket i, with one implicit overflow bucket. Observations are
+// atomic adds; there is no locking anywhere on the update path.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last = overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     Gauge
+}
+
+// DefaultBuckets is a geometric 1–65536 ladder suitable for step-valued
+// quantities (latencies, distances) across every topology in the repo.
+var DefaultBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.Max(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the qth quantile (0 < q ≤ 1) as the upper bound of the
+// bucket containing it; observations beyond the last bound report the
+// observed maximum. Zero when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Value()
+		}
+	}
+	return h.max.Value()
+}
+
+// metric is the union stored in a Registry.
+type metric struct {
+	kind string // "counter" | "gauge" | "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named, labeled metric store. Metric handles are created (or
+// fetched) with Counter/Gauge/Histogram and then updated with pure atomic
+// operations; the registry itself is a sync.Map, so steady-state updates
+// take no locks. A nil *Registry is a valid no-op registry.
+type Registry struct {
+	m       sync.Map // key string -> metric
+	publish sync.Once
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// key renders "name{k1=v1,k2=v2}" from alternating key/value label pairs.
+// Labels are sorted so the same label set always yields the same key.
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	if len(labels)%2 == 1 { // dangling key: keep it visible rather than drop it
+		pairs = append(pairs, kv{labels[len(labels)-1], ""})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns the counter registered under name and labels (alternating
+// key/value pairs), creating it on first use. Nil registry → nil counter
+// (whose methods are no-ops).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	if m, ok := r.m.Load(k); ok {
+		return m.(metric).c
+	}
+	m, _ := r.m.LoadOrStore(k, metric{kind: "counter", c: &Counter{}})
+	return m.(metric).c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	if m, ok := r.m.Load(k); ok {
+		return m.(metric).g
+	}
+	m, _ := r.m.LoadOrStore(k, metric{kind: "gauge", g: &Gauge{}})
+	return m.(metric).g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket bounds on first use (nil bounds =
+// DefaultBuckets). Bounds are fixed at creation; later callers share the
+// first histogram regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	if m, ok := r.m.Load(k); ok {
+		return m.(metric).h
+	}
+	m, _ := r.m.LoadOrStore(k, metric{kind: "histogram", h: newHistogram(bounds)})
+	return m.(metric).h
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// LE is the inclusive upper bound (-1 for the overflow bucket).
+	LE int64 `json:"le"`
+	// N is the number of observations in the bucket.
+	N int64 `json:"n"`
+}
+
+// Sample is one metric in a snapshot.
+type Sample struct {
+	// Name is the full key, "name{k=v,...}".
+	Name string `json:"name"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// Value is the counter/gauge value (histograms use the fields below).
+	Value int64 `json:"value,omitempty"`
+	// Count/Sum/Max/P50/P90/P99 summarize a histogram.
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum,omitempty"`
+	Max   int64 `json:"max,omitempty"`
+	P50   int64 `json:"p50,omitempty"`
+	P90   int64 `json:"p90,omitempty"`
+	P99   int64 `json:"p99,omitempty"`
+	// Buckets holds the non-empty buckets of a histogram.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric, sorted by name, so the JSON
+// rendering of a snapshot is stable across runs and worker counts.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	r.m.Range(func(k, v any) bool {
+		m := v.(metric)
+		s := Sample{Name: k.(string), Kind: m.kind}
+		switch m.kind {
+		case "counter":
+			s.Value = m.c.Value()
+		case "gauge":
+			s.Value = m.g.Value()
+		case "histogram":
+			h := m.h
+			s.Count, s.Sum, s.Max = h.Count(), h.Sum(), h.max.Value()
+			s.P50, s.P90, s.P99 = h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+			for i := range h.buckets {
+				if n := h.buckets[i].Load(); n > 0 {
+					le := int64(-1)
+					if i < len(h.bounds) {
+						le = h.bounds[i]
+					}
+					s.Buckets = append(s.Buckets, Bucket{LE: le, N: n})
+				}
+			}
+		}
+		out = append(out, s)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Publish exposes the registry under the given expvar name (served at
+// /debug/vars). Publishing twice, or under a name already taken, is a
+// no-op rather than the expvar panic.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	r.publish.Do(func() {
+		if expvar.Get(name) != nil {
+			return
+		}
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Quantiles returns the requested quantiles (0 < q ≤ 1) of xs using the
+// nearest-rank method on a sorted copy. Zero-length input yields zeros.
+// Exported for callers (experiment tables) that need exact small-sample
+// percentiles rather than bucketed histogram estimates.
+func Quantiles(xs []int64, qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]int64, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		rank := int(q*float64(len(sorted)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}

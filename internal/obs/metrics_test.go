@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs") != c {
+		t.Error("same name should return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.Max(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("Max(3) lowered the gauge to %d", got)
+	}
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("Max(9) = %d, want 9", got)
+	}
+}
+
+func TestLabelsNormalize(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("stage_us", "stage", "verify", "alg", "greedy")
+	b := r.Counter("stage_us", "alg", "greedy", "stage", "verify")
+	if a != b {
+		t.Error("label order should not distinguish metrics")
+	}
+	a.Inc()
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d samples, want 1", len(snap))
+	}
+	if want := "stage_us{alg=greedy,stage=verify}"; snap[0].Name != want {
+		t.Errorf("key = %q, want %q", snap[0].Name, want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{1, 10, 100})
+	for _, v := range []int64{1, 2, 3, 50, 99, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1155 {
+		t.Errorf("count=%d sum=%d, want 6/1155", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %d, want 10 (bucket upper bound)", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want observed max 1000", q)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Error("nil histogram should read as zero")
+	}
+}
+
+func TestSnapshotStableOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Gauge("a").Set(1)
+	r.Histogram("m", nil).Observe(3)
+	s1, _ := json.Marshal(r.Snapshot())
+	s2, _ := json.Marshal(r.Snapshot())
+	if !bytes.Equal(s1, s2) {
+		t.Error("snapshots of an unchanged registry differ")
+	}
+	snap := r.Snapshot()
+	if snap[0].Name != "a" || snap[1].Name != "m" || snap[2].Name != "z" {
+		t.Errorf("snapshot not name-sorted: %v", []string{snap[0].Name, snap[1].Name, snap[2].Name})
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	r.Publish("nil-registry") // must not panic
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits", "worker", "shared").Inc()
+				r.Histogram("lat", nil).Observe(int64(i % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits", "worker", "shared").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("published").Add(42)
+	r.Publish("obs-test-registry")
+	r.Publish("obs-test-registry") // second publish is a no-op, not a panic
+	v := expvar.Get("obs-test-registry")
+	if v == nil {
+		t.Fatal("registry not published to expvar")
+	}
+	var snap []Sample
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not a snapshot: %v", err)
+	}
+	if len(snap) != 1 || snap[0].Value != 42 {
+		t.Errorf("expvar snapshot = %+v, want the published counter", snap)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []int64{5, 1, 4, 2, 3}
+	q := Quantiles(xs, 0.5, 0.99, 1.0)
+	if q[0] != 3 {
+		t.Errorf("p50 = %d, want 3", q[0])
+	}
+	if q[1] != 5 || q[2] != 5 {
+		t.Errorf("p99/p100 = %d/%d, want 5/5", q[1], q[2])
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty input p50 = %d, want 0", got[0])
+	}
+}

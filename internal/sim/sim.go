@@ -43,15 +43,19 @@ type Event struct {
 	Node   graph.NodeID // execute: the executing node
 }
 
-// String renders the event for logs.
+// String renders the event for logs. Every defined kind has an explicit
+// case; undefined kinds render visibly rather than masquerading as an
+// execution, so trace output never silently mislabels an event.
 func (e Event) String() string {
 	switch e.Kind {
 	case EventDepart:
 		return fmt.Sprintf("t=%d obj%d departs %d→%d (for txn %d)", e.Step, e.Object, e.From, e.To, e.Txn)
 	case EventArrive:
 		return fmt.Sprintf("t=%d obj%d arrives at %d (for txn %d)", e.Step, e.Object, e.To, e.Txn)
-	default:
+	case EventExecute:
 		return fmt.Sprintf("t=%d txn %d executes at node %d", e.Step, e.Txn, e.Node)
+	default:
+		return fmt.Sprintf("t=%d unknown event kind %d", e.Step, int(e.Kind))
 	}
 }
 

@@ -217,3 +217,27 @@ func minInt(a, b int) int {
 	}
 	return b
 }
+
+// TestEventString covers every event kind, including the fallback for an
+// unknown kind (a regression guard: EventExecute used to fall through to
+// the default formatting).
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Step: 3, Kind: EventDepart, Object: 2, Txn: 5, From: 1, To: 4},
+			"t=3 obj2 departs 1→4 (for txn 5)"},
+		{Event{Step: 7, Kind: EventArrive, Object: 2, Txn: 5, To: 4},
+			"t=7 obj2 arrives at 4 (for txn 5)"},
+		{Event{Step: 9, Kind: EventExecute, Txn: 5, Node: 4},
+			"t=9 txn 5 executes at node 4"},
+		{Event{Step: 1, Kind: EventKind(99)},
+			"t=1 unknown event kind 99"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.ev, got, c.want)
+		}
+	}
+}

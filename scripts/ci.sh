@@ -25,6 +25,11 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== obs no-op overhead guard =="
+# A nil *obs.Collector must cost the engine pipeline nothing: the guard
+# test asserts 0 allocs/op across every nil-receiver method.
+go test ./internal/obs -run 'TestNilCollectorZeroAllocs|TestNilRegistry' -count=1
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
