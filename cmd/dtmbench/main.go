@@ -7,8 +7,8 @@
 // Usage:
 //
 //	dtmbench [-quick] [-trials N] [-seed S] [-only E5[,E6,…]] [-md]
-//	         [-parallel N] [-timeout D] [-json FILE]
-//	         [-trace FILE] [-metrics FILE] [-http ADDR]
+//	         [-parallel N] [-timeout D] [-precompute auto|on|off]
+//	         [-json FILE] [-trace FILE] [-metrics FILE] [-http ADDR]
 //
 // -trace writes a structured JSONL run trace to FILE and a Chrome
 // trace-event file (open it in Perfetto or chrome://tracing) next to it;
@@ -146,6 +146,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		precomp  = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
 		traceOut = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
@@ -160,6 +161,17 @@ func main() {
 	cfg.Workers = *parallel
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	switch *precomp {
+	case "auto":
+		cfg.Precompute = experiments.PrecomputeAuto
+	case "on":
+		cfg.Precompute = experiments.PrecomputeOn
+	case "off":
+		cfg.Precompute = experiments.PrecomputeOff
+	default:
+		fmt.Fprintf(os.Stderr, "dtmbench: -precompute must be auto, on, or off (got %q)\n", *precomp)
+		os.Exit(2)
 	}
 
 	// The collector is always attached: metrics-only by default, with

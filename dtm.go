@@ -108,6 +108,12 @@ type Options struct {
 	// Placement picks initial object homes; default places each object
 	// at a random requester, per the paper.
 	Placement tm.Placement
+	// Precompute forces the all-pairs distance matrix for graph-backed
+	// metrics regardless of size. When false (default), the matrix is
+	// still installed automatically for topologies whose metric falls
+	// back to graph shortest paths (butterfly) when the graph has at
+	// most tm.AutoPrecomputeNodes nodes.
+	Precompute bool
 }
 
 // Option mutates Options.
@@ -128,6 +134,14 @@ func PlaceRandomNode() Option {
 	return func(o *Options) { o.Placement = tm.PlaceRandom }
 }
 
+// PrecomputeDistances forces the system's distance oracle onto the
+// precomputed all-pairs matrix (Θ(n²) memory, O(1) zero-alloc lookups)
+// even above the automatic size threshold. It only applies to topologies
+// whose metric is graph-backed; closed-form metrics are already O(1).
+func PrecomputeDistances() Option {
+	return func(o *Options) { o.Precompute = true }
+}
+
 // System is a topology plus a generated problem instance, ready to
 // schedule.
 type System struct {
@@ -143,8 +157,19 @@ func newSystem(topo topology.Topology, w Workload, opts []Option) *System {
 	}
 	g := topo.Graph()
 	rng := xrand.NewDerived(o.Seed, "workload", g.Name())
-	metric := graph.FuncMetric(topo.Dist)
+	// Topologies without a closed-form metric delegate to graph shortest
+	// paths; hand the graph out directly so the instance can see (and
+	// precompute) the real oracle instead of an opaque closure.
+	var metric graph.Metric = graph.FuncMetric(topo.Dist)
+	if topology.MetricFallsBackToGraph(topo) {
+		metric = g
+	}
 	in := w.w.Generate(rng, g, metric, g.Nodes(), o.Placement)
+	if o.Precompute {
+		in.PrecomputeDist(0)
+	} else {
+		in.PrecomputeDistAuto(0)
+	}
 	return &System{topo: topo, in: in, seed: o.Seed}
 }
 

@@ -169,3 +169,24 @@ func TestExtensionTopologySystems(t *testing.T) {
 		})
 	}
 }
+
+// TestPrecomputeDistancesOption: butterfly metrics fall back to graph
+// shortest paths, so small systems auto-install the all-pairs matrix and
+// the option forces it; closed-form topologies never get one.
+func TestPrecomputeDistancesOption(t *testing.T) {
+	bf := dtm.NewButterflySystem(3, dtm.Uniform(8, 2))
+	if !bf.Instance().G.Precomputed() {
+		t.Error("small butterfly system did not auto-precompute distances")
+	}
+	forced := dtm.NewButterflySystem(3, dtm.Uniform(8, 2), dtm.PrecomputeDistances())
+	if !forced.Instance().G.Precomputed() {
+		t.Error("PrecomputeDistances() did not install the matrix")
+	}
+	clique := dtm.NewCliqueSystem(16, dtm.Uniform(8, 2), dtm.PrecomputeDistances())
+	if clique.Instance().G.Precomputed() {
+		t.Error("clique (closed-form metric) got a distance matrix")
+	}
+	if rep, err := bf.Run(dtm.AlgGreedy); err != nil || rep.Makespan < rep.LowerBound {
+		t.Fatalf("precomputed butterfly run: rep=%+v err=%v", rep, err)
+	}
+}

@@ -233,9 +233,13 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 
 	rep := &Report{Name: job.Name, Verify: job.Verify}
 
-	// Generate: obtain the instance.
+	// Generate: obtain the instance. Cancellation between stages routes
+	// through fail() like any stage error, so hooks and collectors always
+	// see a terminal errored-stage event (never a started-but-silent job)
+	// and the error names the stage it interrupted; errors.Is still
+	// recognizes context.Canceled / DeadlineExceeded through the wrap.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(StageGenerate, 0, err)
 	}
 	t0 := time.Now()
 	in := job.Instance
@@ -253,7 +257,7 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 
 	// Schedule: run the scheduler (or adopt the precomputed schedule).
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(StageSchedule, 0, err)
 	}
 	t0 = time.Now()
 	switch {
@@ -281,7 +285,7 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 
 	// Verify: policy-dependent feasibility checking.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(StageVerify, 0, err)
 	}
 	t0 = time.Now()
 	var simRes *sim.Result
@@ -315,7 +319,7 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 
 	// Measure: certified lower bound and approximation ratio.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(StageMeasure, 0, err)
 	}
 	t0 = time.Now()
 	if !job.SkipLowerBound {

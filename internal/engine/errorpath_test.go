@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -119,6 +120,90 @@ func TestVerifyFailureEventsRunBatch(t *testing.T) {
 	}
 	if got := col.Registry().Counter("engine_runs_total").Value(); got != 1 {
 		t.Errorf("runs counter = %d, want 1 (only the good job finished)", got)
+	}
+}
+
+// TestCancellationEventsAndCollector: a job cancelled between stages must
+// terminate observably — the hook sees exactly one errored stage event
+// carrying the context error (and no StageDone), the collector counts the
+// failure against that stage, and the returned error both names the stage
+// and still matches errors.Is(err, context.Canceled). Guards against the
+// silent-return regression where cancelled jobs left started-but-never-
+// terminated traces.
+func TestCancellationEventsAndCollector(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the job dies at the first stage boundary
+
+	h := &recordHook{}
+	col := obs.NewMetricsCollector()
+	job := infeasibleJob("cancelled", VerifyFull) // never reaches verify
+	job.Hook = h.hook()
+	job.Collector = col
+	rep, err := Run(ctx, job)
+	if rep != nil {
+		t.Fatalf("cancelled job produced a report: %+v", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "generate stage") {
+		t.Errorf("error %q does not name the interrupted stage", err)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.events) != 1 {
+		t.Fatalf("hook saw %d events, want exactly 1 terminal event: %+v", len(h.events), h.events)
+	}
+	ev := h.events[0]
+	if ev.Stage != StageGenerate || !errors.Is(ev.Err, context.Canceled) || ev.Report != nil {
+		t.Errorf("terminal event = %+v, want errored StageGenerate without report", ev)
+	}
+	if got := col.Registry().Counter("engine_stage_errors_total", "stage", "generate").Value(); got != 1 {
+		t.Errorf("generate error counter = %d, want 1", got)
+	}
+}
+
+// TestCancellationMidBatchEmitsTerminalEvents: jobs cancelled while
+// already inside the pipeline (not merely skipped by the batch drain)
+// still emit a terminal errored stage event for the stage they were about
+// to enter.
+func TestCancellationMidBatchEmitsTerminalEvents(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	h := &recordHook{}
+	gen := cliqueGen(16, 4, 2, 3)
+	job := Job{
+		Name: "mid-cancel",
+		Gen: func() (*tm.Instance, error) {
+			cancel() // cancel while the generate stage is running
+			return gen()
+		},
+		Scheduler: testJobs(3)[0].Scheduler,
+		Hook:      h.hook(),
+	}
+	rep, err := Run(ctx, job)
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("rep=%v err=%v, want nil report and context.Canceled", rep, err)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var terminal int
+	for _, ev := range h.events {
+		if ev.Stage == StageDone {
+			t.Errorf("cancelled job emitted StageDone: %+v", ev)
+		}
+		if ev.Err != nil {
+			if !errors.Is(ev.Err, context.Canceled) {
+				t.Errorf("errored event carries %v, want context.Canceled", ev.Err)
+			}
+			terminal++
+		}
+	}
+	if terminal != 1 {
+		t.Errorf("saw %d errored events, want exactly 1 terminal event", terminal)
 	}
 }
 

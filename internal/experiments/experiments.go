@@ -25,6 +25,26 @@ import (
 	"dtmsched/internal/xrand"
 )
 
+// PrecomputeMode selects when instances install the precomputed all-pairs
+// distance matrix (tm.Instance.PrecomputeDist) before entering the engine
+// pipeline. Only graph-backed metrics are affected; topologies with
+// closed-form metrics never consult the graph.
+type PrecomputeMode int
+
+// Precompute policies. The zero value is Auto: small graph-backed
+// instances get the matrix, everything else keeps the lock-free lazy
+// tree cache.
+const (
+	// PrecomputeAuto installs the matrix for graph-backed metrics on
+	// graphs of at most tm.AutoPrecomputeNodes nodes.
+	PrecomputeAuto PrecomputeMode = iota
+	// PrecomputeOff never installs the matrix.
+	PrecomputeOff
+	// PrecomputeOn installs the matrix for every graph-backed metric
+	// regardless of size.
+	PrecomputeOn
+)
+
 // Config tunes experiment execution.
 type Config struct {
 	// Seed roots all randomness; fixed default for reproducibility.
@@ -43,6 +63,38 @@ type Config struct {
 	// (depending on its configuration) run traces from every engine job
 	// the experiments execute. Nil costs nothing.
 	Collector *obs.Collector
+	// Precompute selects the distance-matrix policy applied to every
+	// instance the experiments build (default PrecomputeAuto). Purely a
+	// performance knob: measured makespans, bounds, and ratios are
+	// identical under every mode.
+	Precompute PrecomputeMode
+}
+
+// prepare applies the precompute policy to a freshly built instance. It
+// runs single-threaded SSSP: callers are already fanned out across the
+// engine worker pool, so nesting parallelism would oversubscribe.
+func (c Config) prepare(in *tm.Instance) *tm.Instance {
+	switch c.Precompute {
+	case PrecomputeOn:
+		in.PrecomputeDist(1)
+	case PrecomputeAuto:
+		in.PrecomputeDistAuto(1)
+	}
+	return in
+}
+
+// wrapGen applies prepare to the instance a Gen closure produces.
+func (c Config) wrapGen(gen func() (*tm.Instance, error)) func() (*tm.Instance, error) {
+	if c.Precompute == PrecomputeOff {
+		return gen
+	}
+	return func() (*tm.Instance, error) {
+		in, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		return c.prepare(in), nil
+	}
 }
 
 // context returns the sweep's cancellation context.
@@ -149,7 +201,7 @@ func cellFromReport(r *engine.Report) cell {
 // the instance lower bound. Any infeasibility is a hard error: the
 // experiments never report unverified schedules.
 func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: in, Scheduler: sched, Collector: cfg.Collector})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Scheduler: sched, Collector: cfg.Collector})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
 	}
@@ -158,7 +210,7 @@ func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
 
 // runSchedule is runCell for a precomputed schedule.
 func runSchedule(cfg Config, in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: in, Schedule: s, Algorithm: name, Collector: cfg.Collector})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Schedule: s, Algorithm: name, Collector: cfg.Collector})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -182,7 +234,7 @@ func newSweep(cfg Config) *sweep { return &sweep{cfg: cfg} }
 // add appends one scheduler job to the open cell. gen runs on a pool
 // worker, so it must derive its randomness from labels, not shared state.
 func (s *sweep) add(name string, gen func() (*tm.Instance, error), sched core.Scheduler) {
-	s.jobs = append(s.jobs, engine.Job{Name: name, Gen: gen, Scheduler: sched})
+	s.jobs = append(s.jobs, engine.Job{Name: name, Gen: s.cfg.wrapGen(gen), Scheduler: sched})
 	s.open++
 }
 
@@ -190,7 +242,7 @@ func (s *sweep) add(name string, gen func() (*tm.Instance, error), sched core.Sc
 // may be shared between jobs of a cell (e.g. several algorithms compared
 // on the same input).
 func (s *sweep) addInstance(name string, in *tm.Instance, sched core.Scheduler) {
-	s.jobs = append(s.jobs, engine.Job{Name: name, Instance: in, Scheduler: sched})
+	s.jobs = append(s.jobs, engine.Job{Name: name, Instance: s.cfg.prepare(in), Scheduler: sched})
 	s.open++
 }
 

@@ -5,8 +5,14 @@ import (
 	"dtmsched/internal/topology"
 )
 
-// metric adapts a topology's closed-form distance to graph.Metric.
+// metric adapts a topology's distance oracle to graph.Metric: the
+// closed form where one exists, the graph itself where the topology
+// falls back to shortest-path search — exposing the graph directly lets
+// instances install the precomputed matrix (Config.Precompute).
 func metric(t topology.Topology) graph.Metric {
+	if topology.MetricFallsBackToGraph(t) {
+		return t.Graph()
+	}
 	return graph.FuncMetric(t.Dist)
 }
 

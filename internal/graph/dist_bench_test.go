@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchGrid builds the side×side unit-weight grid used by the Dist
+// contention benchmarks (32×32 = 1024 nodes, the scale ISSUE/BENCH
+// numbers quote).
+func benchGrid(side int) *Graph {
+	g := New(side * side)
+	id := func(r, c int) NodeID { return NodeID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.AddUnitEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				g.AddUnitEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// mutexDistOracle replicates the pre-lock-free cache design — one mutex
+// over a map of per-source trees — as the baseline BenchmarkDistParallel
+// compares against. Kept in the benchmark file only; the library no
+// longer ships this path.
+type mutexDistOracle struct {
+	g     *Graph
+	mu    sync.Mutex
+	trees map[NodeID]*ShortestPathTree
+}
+
+func newMutexDistOracle(g *Graph) *mutexDistOracle {
+	return &mutexDistOracle{g: g, trees: make(map[NodeID]*ShortestPathTree)}
+}
+
+func (o *mutexDistOracle) Dist(u, v NodeID) int64 {
+	o.mu.Lock()
+	t, ok := o.trees[u]
+	o.mu.Unlock()
+	if !ok {
+		t = o.g.ShortestPaths(u)
+		o.mu.Lock()
+		o.trees[u] = t
+		o.mu.Unlock()
+	}
+	return t.Dist[v]
+}
+
+// distWorkload walks a deterministic source/target sequence; every
+// benchmark variant below issues the identical query stream so the
+// numbers compare oracle cost, not query mix.
+func distWorkload(n int, dist func(u, v NodeID) int64, pb *testing.PB) {
+	var i uint64
+	for pb.Next() {
+		u := NodeID(i * 2654435761 % uint64(n))
+		v := NodeID((i*40503 + 1) % uint64(n))
+		dist(u, v)
+		i++
+	}
+}
+
+// BenchmarkDistParallel measures concurrent Dist throughput on a
+// 1024-node grid across oracle layers. Run with -cpu 1,4,8 to see the
+// contention profile; the mutexmap baseline serializes every lookup,
+// lockfree is the shipped tree cache, precomputed the all-pairs matrix.
+func BenchmarkDistParallel(b *testing.B) {
+	const side = 32
+	n := side * side
+
+	b.Run("mutexmap", func(b *testing.B) {
+		g := benchGrid(side)
+		o := newMutexDistOracle(g)
+		o.Dist(0, NodeID(n-1)) // warm one tree so setup cost is off the clock
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) { distWorkload(n, o.Dist, pb) })
+	})
+
+	b.Run("lockfree", func(b *testing.B) {
+		g := benchGrid(side)
+		g.Dist(0, NodeID(n-1))
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) { distWorkload(n, g.Dist, pb) })
+	})
+
+	b.Run("precomputed", func(b *testing.B) {
+		g := benchGrid(side)
+		g.Precompute(0)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) { distWorkload(n, g.Dist, pb) })
+	})
+}
+
+// BenchmarkDistSequential pins the single-goroutine cost of the two
+// shipped layers, for spotting regressions that parallel numbers hide.
+func BenchmarkDistSequential(b *testing.B) {
+	const side = 32
+	n := side * side
+	b.Run("lockfree", func(b *testing.B) {
+		g := benchGrid(side)
+		g.Dist(0, NodeID(n-1))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Dist(NodeID(i%n), NodeID((i*7+1)%n))
+		}
+	})
+	b.Run("precomputed", func(b *testing.B) {
+		g := benchGrid(side)
+		g.Precompute(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Dist(NodeID(i%n), NodeID((i*7+1)%n))
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The distance oracle has three layers, cheapest first:
+//
+//  1. closed-form topology metrics (internal/topology) never reach the
+//     graph at all;
+//  2. the lock-free per-source tree cache below memoizes SSSP results on
+//     first query, so repeated Dist/Path calls from one source are O(1)
+//     array reads with no lock on the hot path;
+//  3. Precompute builds a flat n×n matrix up front, making every Dist a
+//     single index operation — the right trade when an instance is
+//     queried densely (engine sweeps, simulator replay, TSP bounds) and
+//     Θ(n²) memory is affordable.
+//
+// AddEdge invalidates layers 2 and 3 wholesale by swapping the cache
+// pointers, so mutation never has to synchronize with readers beyond the
+// atomic pointer loads they already perform.
+
+// spCache is the lock-free per-source shortest-path-tree cache. NodeIDs
+// are dense in [0, n), so sources index directly into a slot array; the
+// first query from a source computes its tree and publishes it with a
+// compare-and-swap. Concurrent first queries may race to compute the same
+// tree — that duplicate SSSP is benign (both trees are equal; one wins the
+// CAS and the loser's work is dropped) and rare, and it buys an
+// uncontended atomic load on every subsequent lookup.
+type spCache struct {
+	slots []atomic.Pointer[ShortestPathTree]
+}
+
+// cache returns the current tree cache, creating it on first use. AddEdge
+// invalidates by storing nil, so a stale cache is never observed: readers
+// re-load the pointer on every query.
+func (g *Graph) cache() *spCache {
+	if c := g.sp.Load(); c != nil {
+		return c
+	}
+	c := &spCache{slots: make([]atomic.Pointer[ShortestPathTree], len(g.adj))}
+	if g.sp.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.sp.Load()
+}
+
+// distMatrix is the precomputed all-pairs layer: row-major n×n distances
+// in one flat allocation, immutable once published.
+type distMatrix struct {
+	n    int
+	dist []int64
+}
+
+// Precompute builds the all-pairs distance matrix with workers goroutines
+// (0 = GOMAXPROCS) and installs it, making every subsequent Dist a single
+// index read with zero allocations. Memory is Θ(n²); callers choose this
+// layer for densely queried small and medium graphs (see
+// AutoPrecomputeNodes in package tm for the facade's threshold). AddEdge
+// drops the matrix along with the tree cache, so mutated graphs must call
+// Precompute again to regain the fast path. Precompute is idempotent and
+// safe to call concurrently with queries; it does not populate the tree
+// cache, which Path continues to use for route reconstruction.
+func (g *Graph) Precompute(workers int) {
+	n := len(g.adj)
+	m := &distMatrix{n: n, dist: make([]int64, n*n)}
+	if n > 0 {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n {
+						return
+					}
+					copy(m.dist[i*n:(i+1)*n], g.ShortestPaths(NodeID(i)).Dist)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	g.apsp.Store(m)
+}
+
+// Precomputed reports whether the all-pairs matrix is currently installed
+// (false before Precompute and again after any AddEdge).
+func (g *Graph) Precomputed() bool { return g.apsp.Load() != nil }

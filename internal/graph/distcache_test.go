@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPrecomputeMatchesTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		g := randomConnectedGraph(r, 2+r.Intn(30), r.Intn(20), 6)
+		want := make([][]int64, g.NumNodes())
+		for u := range want {
+			want[u] = g.ShortestPaths(NodeID(u)).Dist
+		}
+		g.Precompute(1 + r.Intn(4))
+		if !g.Precomputed() {
+			t.Fatal("Precomputed() false after Precompute")
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if got := g.Dist(NodeID(u), NodeID(v)); got != want[u][v] {
+					t.Fatalf("trial %d: precomputed Dist(%d,%d) = %d, want %d", trial, u, v, got, want[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestPrecomputeDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddUnitEdge(0, 1)
+	g.Precompute(2)
+	if d := g.Dist(0, 2); d != Inf {
+		t.Fatalf("precomputed Dist to unreachable = %d, want Inf", d)
+	}
+}
+
+func TestPrecomputeEmptyAndSingle(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := New(n)
+		g.Precompute(4)
+		if !g.Precomputed() {
+			t.Fatalf("n=%d: Precomputed() false", n)
+		}
+	}
+	g := New(1)
+	g.Precompute(1)
+	if d := g.Dist(0, 0); d != 0 {
+		t.Fatalf("Dist(0,0) on singleton = %d, want 0", d)
+	}
+}
+
+// TestAddEdgeInvalidatesAllLayers: queries populate both cache layers,
+// then a mutation must drop them so later queries see the new edge.
+func TestAddEdgeInvalidatesAllLayers(t *testing.T) {
+	g := New(4)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 2)
+	g.AddUnitEdge(2, 3)
+	if d := g.Dist(0, 3); d != 3 {
+		t.Fatalf("Dist(0,3) = %d, want 3", d)
+	}
+	g.Precompute(2)
+	if d := g.Dist(0, 3); d != 3 {
+		t.Fatalf("precomputed Dist(0,3) = %d, want 3", d)
+	}
+	g.AddUnitEdge(0, 3) // shortcut invalidates matrix and tree cache
+	if g.Precomputed() {
+		t.Fatal("matrix survived AddEdge")
+	}
+	if d := g.Dist(0, 3); d != 1 {
+		t.Fatalf("Dist(0,3) after shortcut = %d, want 1 (stale cache?)", d)
+	}
+	if p := g.Path(0, 3); len(p) != 2 {
+		t.Fatalf("Path(0,3) after shortcut = %v, want direct edge", p)
+	}
+	g.Precompute(2)
+	if d := g.Dist(0, 3); d != 1 {
+		t.Fatalf("re-precomputed Dist(0,3) = %d, want 1", d)
+	}
+}
+
+// TestConcurrentFirstQuery hammers Dist/Tree/Path from many goroutines on
+// a cold cache, so first-query CAS publication races are exercised under
+// the race detector. Every goroutine cross-checks against an
+// independently computed expectation.
+func TestConcurrentFirstQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomConnectedGraph(r, 48, 64, 5)
+	want := floydWarshall(g)
+	n := g.NumNodes()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				u := NodeID(r.Intn(n))
+				v := NodeID(r.Intn(n))
+				if d := g.Dist(u, v); d != want[u][v] {
+					errs <- fmt.Errorf("Dist(%d,%d) = %d, want %d", u, v, d, want[u][v])
+					return
+				}
+				tree := g.Tree(u)
+				if tree.Dist[v] != want[u][v] {
+					errs <- fmt.Errorf("Tree(%d).Dist[%d] = %d, want %d", u, v, tree.Dist[v], want[u][v])
+					return
+				}
+				if p := g.Path(u, v); len(p) == 0 || p[0] != u || p[len(p)-1] != v {
+					errs <- fmt.Errorf("Path(%d,%d) = %v", u, v, p)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentPrecomputeAndQuery runs Precompute concurrently with
+// queries: readers must observe either the tree-cache or the matrix
+// layer, never a torn result.
+func TestConcurrentPrecomputeAndQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	g := randomConnectedGraph(r, 40, 40, 4)
+	want := floydWarshall(g)
+	n := g.NumNodes()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Precompute(4)
+	}()
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				u := NodeID(r.Intn(n))
+				v := NodeID(r.Intn(n))
+				if d := g.Dist(u, v); d != want[u][v] {
+					errs <- fmt.Errorf("Dist(%d,%d) = %d, want %d", u, v, d, want[u][v])
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPrecomputedDistZeroAlloc is the CI allocation guard: a Dist lookup
+// on the precomputed path must not allocate.
+func TestPrecomputedDistZeroAlloc(t *testing.T) {
+	g := benchGrid(16)
+	g.Precompute(0)
+	n := NodeID(g.NumNodes())
+	var sink int64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += g.Dist(3, n-5)
+	})
+	if allocs != 0 {
+		t.Fatalf("precomputed Dist allocates %.1f per op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestWarmTreeDistZeroAlloc pins the tree-cache path too: once a source's
+// tree exists, Dist is an array read.
+func TestWarmTreeDistZeroAlloc(t *testing.T) {
+	g := benchGrid(8)
+	g.Dist(0, 5) // warm source 0
+	var sink int64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += g.Dist(0, 17)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm tree-cache Dist allocates %.1f per op, want 0", allocs)
+	}
+	_ = sink
+}

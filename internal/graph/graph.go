@@ -4,9 +4,10 @@
 // Nodes are dense integer identifiers in [0, N). Edges carry positive
 // integer weights representing communication delay in synchronous time
 // steps. The package offers single-source shortest paths (BFS for unit
-// weights, Dijkstra otherwise), lazily cached all-pairs distances, exact
-// path reconstruction, and parallel all-pairs computation for large
-// instances.
+// weights, Dijkstra otherwise), lock-free lazily cached per-source
+// distances, an opt-in precomputed all-pairs matrix (Precompute) for
+// densely queried instances, exact path reconstruction, and parallel
+// all-pairs computation for large instances.
 package graph
 
 import (
@@ -29,16 +30,18 @@ type Edge struct {
 // Graph is a weighted undirected multigraph with dense node IDs.
 // The zero value is an empty graph with no nodes; use New to size it.
 //
-// Graph is safe for concurrent reads after construction, including the
-// lazily created shortest-path cache. Mutation (AddEdge) must not race
-// with queries.
+// Graph is safe for concurrent reads after construction, including first
+// queries against the lazily created shortest-path cache (trees are
+// published lock-free per source) and against a precomputed distance
+// matrix (Precompute). Mutation (AddEdge) must not race with queries.
 type Graph struct {
 	name       string
 	adj        [][]Edge
 	edges      int
 	unitWeight bool // true while every inserted edge has weight 1
 
-	sp atomic.Pointer[spCache] // lazy shortest-path cache, created on first query
+	sp   atomic.Pointer[spCache]    // lazy per-source tree cache, created on first query
+	apsp atomic.Pointer[distMatrix] // optional precomputed all-pairs matrix (Precompute)
 }
 
 // New returns a graph with n isolated nodes.
@@ -85,7 +88,8 @@ func (g *Graph) AddEdge(u, v NodeID, w int64) {
 	if w != 1 {
 		g.unitWeight = false
 	}
-	g.sp.Store(nil) // invalidate cache
+	g.sp.Store(nil) // invalidate tree cache
+	g.apsp.Store(nil)
 }
 
 // AddUnitEdge inserts an undirected edge of weight 1.

@@ -3,7 +3,6 @@ package graph
 import (
 	"container/heap"
 	"math"
-	"sync"
 )
 
 // Inf is the distance reported between disconnected nodes.
@@ -123,43 +122,31 @@ func (h *distHeap) Pop() interface{} {
 	return it
 }
 
-// spCache memoizes shortest-path trees per source node.
-type spCache struct {
-	mu    sync.Mutex
-	trees map[NodeID]*ShortestPathTree
-}
-
-func (g *Graph) cache() *spCache {
-	if c := g.sp.Load(); c != nil {
-		return c
-	}
-	c := &spCache{trees: make(map[NodeID]*ShortestPathTree)}
-	if g.sp.CompareAndSwap(nil, c) {
-		return c
-	}
-	return g.sp.Load()
-}
-
 // Tree returns the (cached) shortest-path tree rooted at src. Safe for
-// concurrent use once construction is complete.
+// concurrent use, including the first query from each source: trees are
+// published lock-free (see spCache), so parallel readers never serialize
+// on a lock.
 func (g *Graph) Tree(src NodeID) *ShortestPathTree {
 	c := g.cache()
-	c.mu.Lock()
-	t, ok := c.trees[src]
-	c.mu.Unlock()
-	if ok {
+	if t := c.slots[src].Load(); t != nil {
 		return t
 	}
-	t = g.ShortestPaths(src)
-	c.mu.Lock()
-	c.trees[src] = t
-	c.mu.Unlock()
-	return t
+	t := g.ShortestPaths(src)
+	if c.slots[src].CompareAndSwap(nil, t) {
+		return t
+	}
+	return c.slots[src].Load()
 }
 
 // Dist returns the shortest-path distance between u and v, or Inf when v is
-// unreachable from u. Results are memoized per source.
+// unreachable from u. With a precomputed matrix (Precompute) the lookup is
+// a single index operation; otherwise results are memoized per source.
 func (g *Graph) Dist(u, v NodeID) int64 {
+	if m := g.apsp.Load(); m != nil {
+		g.checkNode(u)
+		g.checkNode(v)
+		return m.dist[int(u)*m.n+int(v)]
+	}
 	g.checkNode(v)
 	return g.Tree(u).Dist[v]
 }

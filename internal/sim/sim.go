@@ -81,8 +81,14 @@ type Result struct {
 type Options struct {
 	// Trace records depart/arrive/execute events.
 	Trace bool
-	// MaxSteps aborts runaway simulations; 0 means derived from the
-	// schedule's makespan (which always suffices for feasible input).
+	// MaxSteps caps the step of every simulated event. A schedule whose
+	// makespan already exceeds the cap is rejected up front; during
+	// execution, any object movement that would arrive past the cap
+	// aborts the run (commit steps are bounded by the makespan, so the
+	// upfront check covers them). 0 derives the cap from the schedule's
+	// makespan, which every feasible schedule satisfies: an object is
+	// only ever dispatched toward a transaction, and on feasible input
+	// it arrives no later than that transaction executes.
 	MaxSteps int64
 }
 
@@ -102,6 +108,10 @@ func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
 	horizon := s.Makespan()
 	if opt.MaxSteps > 0 && horizon > opt.MaxSteps {
 		return nil, fmt.Errorf("sim: schedule makespan %d exceeds step limit %d", horizon, opt.MaxSteps)
+	}
+	limit := opt.MaxSteps
+	if limit == 0 {
+		limit = horizon // feasible schedules never produce an event past the makespan
 	}
 
 	// Per-object itinerary: the sequence of requesters in execution
@@ -131,6 +141,10 @@ func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
 		d := in.Dist(from, dest)
 		st.node = dest
 		st.arrives = departStep + d
+		if st.arrives > limit {
+			return fmt.Errorf("sim: object %d departing node %d at step %d would reach node %d only at step %d, past the step limit %d",
+				o, from, departStep, dest, st.arrives, limit)
+		}
 		if opt.Trace && d > 0 {
 			res.Events = append(res.Events,
 				Event{Step: departStep, Kind: EventDepart, Object: tm.ObjectID(o), Txn: it[st.next], From: from, To: dest},

@@ -82,6 +82,59 @@ func TestRunMaxSteps(t *testing.T) {
 	}
 }
 
+// TestRunMaxStepsEnforcedOnArrivals: the cap binds actual event steps,
+// not just the upfront makespan comparison. Times {1,2,1} keep the
+// makespan within MaxSteps=2, but committing txn 2 forwards object 1 from
+// node 3 toward node 1 (distance 2, arriving at step 3) — past the cap.
+func TestRunMaxStepsEnforcedOnArrivals(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 2, 1}}
+	_, err := Run(in, s, Options{MaxSteps: 2})
+	if err == nil {
+		t.Fatal("arrival past the step limit accepted")
+	}
+	if !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("error %q does not name the step limit", err)
+	}
+}
+
+// TestRunMaxStepsDerivedFromMakespan: with MaxSteps 0 the cap defaults to
+// the schedule's makespan, so a movement that cannot complete by then is
+// rejected with the step-limit error (triggered branch), while feasible
+// schedules — whose events all land at or before the makespan — pass
+// under the derived cap (non-triggered branch).
+func TestRunMaxStepsDerivedFromMakespan(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	in := tm.NewInstance(g, nil, 1, []tm.Txn{
+		{Node: 3, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+	// Makespan 1, but the object needs 3 steps from its home: the derived
+	// cap rejects the dispatch at step 0.
+	_, err := Run(in, &schedule.Schedule{Times: []int64{1}}, Options{})
+	if err == nil {
+		t.Fatal("derived cap not enforced")
+	}
+	if !strings.Contains(err.Error(), "step limit 1") {
+		t.Fatalf("error %q does not carry the derived cap", err)
+	}
+
+	// Non-triggered: a feasible schedule runs to completion under both the
+	// derived cap and an explicit cap equal to its makespan.
+	feasible := &schedule.Schedule{Times: []int64{3}}
+	for _, opt := range []Options{{}, {MaxSteps: 3}} {
+		res, err := Run(in, feasible, opt)
+		if err != nil {
+			t.Fatalf("feasible schedule rejected under cap %d: %v", opt.MaxSteps, err)
+		}
+		if res.Makespan != 3 || res.Executed != 1 {
+			t.Fatalf("res = %+v", res)
+		}
+	}
+}
+
 func TestTraceEvents(t *testing.T) {
 	in := tinyInstance()
 	s := &schedule.Schedule{Times: []int64{1, 3, 1}}

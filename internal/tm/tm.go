@@ -58,6 +58,9 @@ type Instance struct {
 
 	usersOnce sync.Once
 	users     [][]TxnID // lazily built object → requesting-transaction index
+
+	txnAtOnce sync.Once
+	txnAt     []TxnID // lazily built node → hosted-transaction index (-1 = none)
 }
 
 // NewInstance assembles an instance and assigns dense transaction IDs. The
@@ -82,6 +85,37 @@ func (in *Instance) NumTxns() int { return len(in.Txns) }
 
 // Dist returns the shortest-path distance between two nodes.
 func (in *Instance) Dist(u, v graph.NodeID) int64 { return in.Metric.Dist(u, v) }
+
+// AutoPrecomputeNodes is the largest node count at which PrecomputeDistAuto
+// installs the all-pairs matrix: n² int64 cells are 32 MiB at 2048 nodes,
+// negligible next to the SSSP work a dense sweep would otherwise repeat.
+const AutoPrecomputeNodes = 2048
+
+// PrecomputeDist installs the graph's all-pairs distance matrix
+// (graph.Graph.Precompute, workers 0 = GOMAXPROCS) so every Dist during
+// scheduling, validation, simulation, and lower-bound computation is a
+// single index read. It applies only when the instance's metric is the
+// graph itself — topologies with closed-form O(1) metrics never consult
+// the graph, so precomputing for them would be wasted Θ(n²) work and
+// memory. Reports whether the matrix was installed.
+func (in *Instance) PrecomputeDist(workers int) bool {
+	g, ok := in.Metric.(*graph.Graph)
+	if !ok || g != in.G {
+		return false
+	}
+	g.Precompute(workers)
+	return true
+}
+
+// PrecomputeDistAuto is the library's default precompute policy: install
+// the matrix only for graph-backed metrics on graphs of at most
+// AutoPrecomputeNodes nodes. Reports whether the matrix was installed.
+func (in *Instance) PrecomputeDistAuto(workers int) bool {
+	if in.G == nil || in.G.NumNodes() > AutoPrecomputeNodes {
+		return false
+	}
+	return in.PrecomputeDist(workers)
+}
 
 // Users returns the IDs of the transactions requesting object o (the
 // paper's set A_i), in increasing ID order. The index is built on first use
@@ -176,14 +210,38 @@ func (in *Instance) Validate() error {
 }
 
 // TxnAt returns the transaction residing at node v, or nil when the node
-// hosts none.
+// hosts none. The node→transaction index is built on first use (same
+// synchronization as Users), so hot-path callers pay O(1) per lookup
+// rather than a linear scan per call. Nodes outside the graph's range
+// host no transaction on a valid instance (Validate enforces it) and
+// report nil.
 func (in *Instance) TxnAt(v graph.NodeID) *Txn {
+	in.txnAtOnce.Do(in.buildTxnAt)
+	if v < 0 || int(v) >= len(in.txnAt) {
+		return nil
+	}
+	i := in.txnAt[v]
+	if i < 0 {
+		return nil
+	}
+	return &in.Txns[i]
+}
+
+func (in *Instance) buildTxnAt() {
+	n := 0
+	if in.G != nil {
+		n = in.G.NumNodes()
+	}
+	idx := make([]TxnID, n)
+	for i := range idx {
+		idx[i] = -1
+	}
 	for i := range in.Txns {
-		if in.Txns[i].Node == v {
-			return &in.Txns[i]
+		if v := in.Txns[i].Node; v >= 0 && int(v) < n {
+			idx[v] = TxnID(i)
 		}
 	}
-	return nil
+	in.txnAt = idx
 }
 
 // String summarizes the instance.

@@ -110,6 +110,75 @@ func TestTxnAt(t *testing.T) {
 	}
 }
 
+// TestTxnAtIndex pins the lazily built node→transaction index: every
+// hosting node resolves to its transaction, nodes hosting none (and nodes
+// outside the graph) report nil, and repeated lookups return the same
+// pointer into Txns.
+func TestTxnAtIndex(t *testing.T) {
+	g := lineGraph(6)
+	in := NewInstance(g, nil, 2, []Txn{
+		{Node: 4, Objects: []ObjectID{0}},
+		{Node: 1, Objects: []ObjectID{1}},
+	}, []graph.NodeID{4, 1})
+	for i := range in.Txns {
+		got := in.TxnAt(in.Txns[i].Node)
+		if got != &in.Txns[i] {
+			t.Fatalf("TxnAt(%d) = %v, want &Txns[%d]", in.Txns[i].Node, got, i)
+		}
+	}
+	for _, empty := range []graph.NodeID{0, 2, 3, 5} {
+		if in.TxnAt(empty) != nil {
+			t.Fatalf("TxnAt(%d) non-nil for node hosting no transaction", empty)
+		}
+	}
+	for _, out := range []graph.NodeID{-1, 6, 1000} {
+		if in.TxnAt(out) != nil {
+			t.Fatalf("TxnAt(%d) non-nil for out-of-range node", out)
+		}
+	}
+}
+
+func TestPrecomputeDist(t *testing.T) {
+	g := lineGraph(5)
+	in := NewInstance(g, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{4})
+	if !in.PrecomputeDist(2) {
+		t.Fatal("PrecomputeDist refused a graph-backed metric")
+	}
+	if !g.Precomputed() {
+		t.Fatal("matrix not installed on the graph")
+	}
+	if d := in.Dist(0, 4); d != 4 {
+		t.Fatalf("Dist(0,4) = %d, want 4", d)
+	}
+
+	// A closed-form metric never consults the graph: precompute declines.
+	topo := topology.NewClique(8)
+	cin := NewInstance(topo.Graph(), graph.FuncMetric(topo.Dist), 1,
+		[]Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{1})
+	if cin.PrecomputeDist(1) {
+		t.Fatal("PrecomputeDist installed a matrix behind a closed-form metric")
+	}
+	if topo.Graph().Precomputed() {
+		t.Fatal("clique graph precomputed despite closed-form metric")
+	}
+}
+
+func TestPrecomputeDistAutoThreshold(t *testing.T) {
+	small := lineGraph(16)
+	sin := NewInstance(small, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{1})
+	if !sin.PrecomputeDistAuto(1) {
+		t.Fatal("auto declined a small graph-backed instance")
+	}
+	big := lineGraph(AutoPrecomputeNodes + 1)
+	bin := NewInstance(big, nil, 1, []Txn{{Node: 0, Objects: []ObjectID{0}}}, []graph.NodeID{1})
+	if bin.PrecomputeDistAuto(1) {
+		t.Fatal("auto installed a matrix above the size threshold")
+	}
+	if big.Precomputed() {
+		t.Fatal("oversized graph got a matrix")
+	}
+}
+
 func generate(t *testing.T, w Workload, n int, place Placement) *Instance {
 	t.Helper()
 	g := lineGraph(n)

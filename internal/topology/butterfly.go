@@ -69,5 +69,8 @@ func (b *Butterfly) Coord(id graph.NodeID) (level, row int) {
 // ((d+1)·2^d), so memoized BFS is cheap.
 func (b *Butterfly) Dist(u, v graph.NodeID) int64 { return b.g.Dist(u, v) }
 
+// graphMetricFallback marks the butterfly metric as graph-backed.
+func (b *Butterfly) graphMetricFallback() {}
+
 // Diameter is 2·dim: route up to level dim fixing bits, then back down.
 func (b *Butterfly) Diameter() int64 { return int64(2 * b.dim) }

@@ -59,6 +59,9 @@ func (s *Stretched) Factor() int64 { return s.factor }
 // Dist delegates to the stretched graph's shortest paths.
 func (s *Stretched) Dist(u, v graph.NodeID) int64 { return s.g.Dist(u, v) }
 
+// graphMetricFallback marks the stretched metric as graph-backed.
+func (s *Stretched) graphMetricFallback() {}
+
 // Synchronicity returns the realized max/min edge-delay ratio.
 func (s *Stretched) Synchronicity() float64 {
 	var lo, hi int64

@@ -78,6 +78,23 @@ type Diameterer interface {
 	Diameter() int64
 }
 
+// graphFallback marks topologies whose Dist has no closed form and
+// delegates to shortest-path search on the underlying graph.
+type graphFallback interface {
+	graphMetricFallback()
+}
+
+// MetricFallsBackToGraph reports whether t's distance oracle delegates to
+// the underlying graph's shortest paths (Butterfly, Stretched) instead of
+// a closed form. Callers use it to hand the graph itself out as the
+// metric — so the lock-free tree cache is shared rather than hidden
+// behind a closure — and to decide when precomputing the graph's
+// all-pairs matrix (graph.Graph.Precompute) pays off.
+func MetricFallsBackToGraph(t Topology) bool {
+	_, ok := t.(graphFallback)
+	return ok
+}
+
 // abs64 is a helper shared across the closed-form metrics.
 func abs64(x int64) int64 {
 	if x < 0 {

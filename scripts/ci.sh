@@ -30,6 +30,14 @@ echo "== obs no-op overhead guard =="
 # test asserts 0 allocs/op across every nil-receiver method.
 go test ./internal/obs -run 'TestNilCollectorZeroAllocs|TestNilRegistry' -count=1
 
+echo "== distance oracle guards =="
+# The precomputed all-pairs matrix must keep Dist zero-alloc (and the
+# warm lock-free tree cache too); the parallel-Dist benchmark must at
+# least compile and run (1 iteration smoke — perf is checked manually
+# with -cpu 1,4,8 -benchtime).
+go test ./internal/graph -run 'TestPrecomputedDistZeroAlloc|TestWarmTreeDistZeroAlloc' -count=1
+go test ./internal/graph -run '^$' -bench 'BenchmarkDistParallel' -benchtime 1x -count=1 >/dev/null
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
