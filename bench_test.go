@@ -113,15 +113,45 @@ func cliqueInstance(n, w, k int) *tm.Instance {
 		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
 }
 
+// cliqueMetricInstance builds an n-transaction instance on a sparse path
+// graph with a unit ("clique") metric, so build benchmarks scale to 10k
+// transactions without materializing a clique's O(n²) topology edges.
+func cliqueMetricInstance(n, w, k int) *tm.Instance {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	metric := graph.FuncMetric(func(u, v graph.NodeID) int64 {
+		if u == v {
+			return 0
+		}
+		return 1
+	})
+	return tm.UniformK(w, k).Generate(xrand.New(1), g, metric, g.Nodes(), tm.PlaceAtRandomUser)
+}
+
+// BenchmarkDepGraphBuild measures the two-pass CSR conflict-graph build at
+// 1k and 10k transactions against the retired map-of-maps builder (kept as
+// BuildReference). The workers=8 sub-benchmark is the acceptance bar for
+// the parallel build: ≥2× over mapref on the 10k instance.
 func BenchmarkDepGraphBuild(b *testing.B) {
-	for _, n := range []int{128, 512} {
-		in := cliqueInstance(n, n/4, 2)
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		in := cliqueMetricInstance(n, n/4, 2)
+		in.Index() // warm the shared conflict index: benchmark the build, not indexing
+		b.Run(fmt.Sprintf("n=%d/mapref", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				depgraph.Build(in, nil)
+				depgraph.BuildReference(in, nil)
 			}
 		})
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					depgraph.BuildOpts(in, nil, depgraph.Options{Workers: workers})
+				}
+			})
+		}
 	}
 }
 

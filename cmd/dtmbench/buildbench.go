@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtmsched/internal/depgraph"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/xrand"
+)
+
+// runBuildBench (-buildbench) times the two-pass CSR conflict-graph build
+// at 1k and 10k transactions for each requested worker count, against the
+// retired map-of-maps builder kept as depgraph.BuildReference. Instances
+// use a sparse path graph with a unit metric, so the conflict structure
+// matches a clique topology without materializing O(n²) edges.
+func runBuildBench(spec string) error {
+	var workerCounts []int
+	for _, f := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return fmt.Errorf("-buildbench wants comma-separated worker counts ≥ 1, got %q", f)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	const iters = 5
+	for _, n := range []int{1000, 10000} {
+		in := buildBenchInstance(n)
+		in.Index() // warm the shared conflict index: time the build, not indexing
+		ref := timeBuild(iters, func() { depgraph.BuildReference(in, nil) })
+		h := depgraph.Build(in, nil)
+		fmt.Printf("n=%-6d edges=%-7d mapref     %12v/build\n", n, h.NumEdges(), ref.Round(time.Microsecond))
+		for _, w := range workerCounts {
+			d := timeBuild(iters, func() {
+				depgraph.BuildOpts(in, nil, depgraph.Options{Workers: w})
+			})
+			fmt.Printf("n=%-6d edges=%-7d workers=%-3d%12v/build  %5.2fx vs mapref\n",
+				n, h.NumEdges(), w, d.Round(time.Microsecond), float64(ref)/float64(d))
+		}
+	}
+	return nil
+}
+
+// buildBenchInstance generates the n-transaction benchmark workload
+// (w = n/4 objects, k = 2 objects per transaction, fixed seed).
+func buildBenchInstance(n int) *tm.Instance {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	metric := graph.FuncMetric(func(u, v graph.NodeID) int64 {
+		if u == v {
+			return 0
+		}
+		return 1
+	})
+	return tm.UniformK(n/4, 2).Generate(xrand.New(1), g, metric, g.Nodes(), tm.PlaceAtRandomUser)
+}
+
+// timeBuild reports the fastest of iters timed runs of fn.
+func timeBuild(iters int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -56,10 +56,12 @@ type jsonColumn struct {
 // jsonPipeline surfaces the engine instrumentation that each experiment's
 // jobs measure: summed per-stage wall time and the simulator counters.
 type jsonPipeline struct {
-	StageMS     map[string]float64 `json:"stage_ms,omitempty"`
-	SimSteps    int64              `json:"sim_steps"`
-	ObjectMoves int64              `json:"object_moves"`
-	Executed    int64              `json:"txns_executed"`
+	StageMS         map[string]float64 `json:"stage_ms,omitempty"`
+	DepGraphBuildMS float64            `json:"depgraph_build_ms,omitempty"`
+	DepGraphBuilds  int64              `json:"depgraph_builds,omitempty"`
+	SimSteps        int64              `json:"sim_steps"`
+	ObjectMoves     int64              `json:"object_moves"`
+	Executed        int64              `json:"txns_executed"`
 }
 
 type jsonExperiment struct {
@@ -113,6 +115,10 @@ func pipelineDelta(prev, cur map[string]int64) jsonPipeline {
 			p.StageMS[stage] = float64(us) / 1000
 		}
 	}
+	if ns := d("depgraph_build_ns_total"); ns != 0 {
+		p.DepGraphBuildMS = float64(ns) / 1e6
+		p.DepGraphBuilds = d("depgraph_builds_total")
+	}
 	return p
 }
 
@@ -148,12 +154,21 @@ func main() {
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		precomp  = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		buildb   = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
 		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
 		traceOut = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
 		metrOut  = flag.String("metrics", "", "write the final metrics snapshot (JSON) to FILE")
 		httpAddr = flag.String("http", "", "serve /debug/pprof/*, /debug/vars, and /metrics on ADDR while running")
 	)
 	flag.Parse()
+
+	if *buildb != "" {
+		if err := runBuildBench(*buildb); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = *quick

@@ -71,6 +71,27 @@ func TestGreedyDeterministicWithoutRng(t *testing.T) {
 	}
 }
 
+// TestGreedyRngImpliesShuffle pins the backward-compatibility contract on
+// Greedy.Rng: a non-nil Rng with the zero-value Order (OrderNode) shuffles
+// exactly as if Order were OrderRandom. Early callers requested
+// randomization by setting only Rng, so the implicit behavior must stay.
+func TestGreedyRngImpliesShuffle(t *testing.T) {
+	topo := topology.NewClique(20)
+	in := uniformOn(t, topo, 8, 2, 21)
+	implicit := mustSchedule(t, in, &Greedy{Rng: rand.New(rand.NewSource(77))})
+	explicit := mustSchedule(t, in, &Greedy{Order: OrderRandom, Rng: rand.New(rand.NewSource(77))})
+	for i := range implicit.Schedule.Times {
+		if implicit.Schedule.Times[i] != explicit.Schedule.Times[i] {
+			t.Fatalf("txn %d: implicit-shuffle time %d != OrderRandom time %d",
+				i, implicit.Schedule.Times[i], explicit.Schedule.Times[i])
+		}
+	}
+	// And OrderRandom without an Rng must still be rejected.
+	if _, err := (&Greedy{Order: OrderRandom}).Schedule(in); err == nil {
+		t.Fatal("OrderRandom accepted nil Rng")
+	}
+}
+
 func TestGreedyShuffledStillFeasible(t *testing.T) {
 	topo := topology.NewHypercube(4)
 	in := uniformOn(t, topo, 6, 2, 3)

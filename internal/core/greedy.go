@@ -37,9 +37,14 @@ const (
 type Greedy struct {
 	// Order selects the coloring order (default OrderNode).
 	Order GreedyOrder
-	// Rng drives OrderRandom; also accepted (for backward compatibility)
-	// as an implicit request for a shuffled order when Order is
-	// OrderNode.
+	// Rng drives OrderRandom.
+	//
+	// Backward-compatibility contract (pinned by
+	// TestGreedyRngImpliesShuffle): a non-nil Rng with the zero-value
+	// Order (OrderNode) is treated as an implicit request for a shuffled
+	// order, exactly as if Order were OrderRandom — early callers asked
+	// for randomization by setting only this field. Callers that want the
+	// deterministic node order must leave Rng nil.
 	Rng *rand.Rand
 }
 
@@ -70,6 +75,7 @@ func (g *Greedy) Schedule(in *tm.Instance) (*Result, error) {
 	r.Stats["maxdeg"] = int64(h.MaxDegree())
 	r.Stats["gamma"] = h.WeightedDegree()
 	r.Stats["colors"] = maxOf(local)
+	addBuildStats(r.Stats, h.Info())
 	return validateResult(in, r)
 }
 

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"dtmsched/internal/depgraph"
-	"dtmsched/internal/graph"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
 )
@@ -69,19 +68,14 @@ func (g *Grid) Schedule(in *tm.Instance) (*Result, error) {
 	side := g.Side(in)
 	tiles := topology.SnakeOrder(g.Topo.Decompose(side))
 
-	// Index transactions by node for tile lookup.
-	txnAt := make(map[graph.NodeID]tm.TxnID, in.NumTxns())
-	for i := range in.Txns {
-		txnAt[in.Txns[i].Node] = tm.TxnID(i)
-	}
-
 	c := newComposer(in)
+	r := &Result{Algorithm: g.Name(), Stats: map[string]int64{}}
 	var internalSteps, tilesUsed int64
 	for _, tile := range tiles {
 		var ids []tm.TxnID
 		for _, v := range tile.Nodes(g.Topo) {
-			if id, ok := txnAt[v]; ok {
-				ids = append(ids, id)
+			if txn := in.TxnAt(v); txn != nil {
+				ids = append(ids, txn.ID)
 			}
 		}
 		if len(ids) == 0 {
@@ -93,8 +87,10 @@ func (g *Grid) Schedule(in *tm.Instance) (*Result, error) {
 		c.appendBatch(ids, local)
 		internalSteps += c.clock - before
 		tilesUsed++
+		addBuildStats(r.Stats, h.Info())
 	}
-	r := newResult(g.Name(), c.finish())
+	r.Schedule = c.finish()
+	r.Makespan = r.Schedule.Makespan()
 	r.Stats["side"] = int64(side)
 	r.Stats["tiles"] = tilesUsed
 	r.Stats["internal_steps"] = internalSteps

@@ -7,7 +7,6 @@ import (
 	"sort"
 
 	"dtmsched/internal/depgraph"
-	"dtmsched/internal/graph"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
 )
@@ -83,14 +82,15 @@ func (st *Star) run(in *tm.Instance, randomized bool) (*Result, error) {
 	c := newComposer(in)
 	var totalRounds, fallbacks int64
 
-	nodeIndex := make(map[graph.NodeID]tm.TxnID, in.NumTxns())
-	for i := range in.Txns {
-		nodeIndex[in.Txns[i].Node] = tm.TxnID(i)
+	name := "star/approach1"
+	if randomized {
+		name = "star/approach2"
 	}
+	r := &Result{Algorithm: name, Stats: map[string]int64{}}
 
 	// The center's transaction executes first.
-	if id, ok := nodeIndex[st.Topo.Center()]; ok {
-		c.appendOne(id)
+	if txn := in.TxnAt(st.Topo.Center()); txn != nil {
+		c.appendOne(txn.ID)
 	}
 
 	eta := st.Topo.NumSegments()
@@ -104,9 +104,9 @@ func (st *Star) run(in *tm.Instance, randomized bool) (*Result, error) {
 		var all []tm.TxnID
 		for s, seg := range segs {
 			for _, v := range seg.Nodes(st.Topo) {
-				if id, ok := nodeIndex[v]; ok && !c.done[id] {
-					bySeg[s] = append(bySeg[s], id)
-					all = append(all, id)
+				if txn := in.TxnAt(v); txn != nil && !c.done[txn.ID] {
+					bySeg[s] = append(bySeg[s], txn.ID)
+					all = append(all, txn.ID)
 				}
 			}
 		}
@@ -116,6 +116,7 @@ func (st *Star) run(in *tm.Instance, randomized bool) (*Result, error) {
 		if !randomized {
 			h := depgraph.Build(in, all)
 			c.appendBatch(all, h.GreedyColor(h.OrderByNode(in)))
+			addBuildStats(r.Stats, h.Info())
 			continue
 		}
 		rounds, fb := st.randomizedPeriod(in, c, segs, bySeg)
@@ -123,11 +124,8 @@ func (st *Star) run(in *tm.Instance, randomized bool) (*Result, error) {
 		fallbacks += fb
 	}
 
-	name := "star/approach1"
-	if randomized {
-		name = "star/approach2"
-	}
-	r := newResult(name, c.finish())
+	r.Schedule = c.finish()
+	r.Makespan = r.Schedule.Makespan()
 	r.Stats["eta"] = int64(eta)
 	r.Stats["rounds"] = totalRounds
 	r.Stats["fallbacks"] = fallbacks
@@ -160,10 +158,11 @@ func (st *Star) randomizedPeriod(in *tm.Instance, c *composer, segs []topology.S
 	for round := int64(0); pendingCount > 0 && round < zeta && stall < stallLimit; round++ {
 		rounds++
 		active := make(map[tm.ObjectID]int)
+		index := in.Index()
 		for o := 0; o < in.NumObjects; o++ {
 			var choices []int
 			seen := make(map[int]bool)
-			for _, id := range in.Users(tm.ObjectID(o)) {
+			for _, id := range index.Members(tm.ObjectID(o)) {
 				if s, ok := segOf[id]; ok && !c.done[id] && !seen[s] {
 					seen[s] = true
 					choices = append(choices, s)

@@ -2,6 +2,7 @@ package depgraph
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -207,4 +208,208 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// csrEqual compares two graphs' flat CSR layouts byte for byte (offsets,
+// neighbor rows, weights) plus the derived aggregates.
+func csrEqual(t *testing.T, label string, a, b *DepGraph) {
+	t.Helper()
+	if !slices.Equal(a.rowStart, b.rowStart) {
+		t.Fatalf("%s: rowStart differs", label)
+	}
+	if !slices.Equal(a.nbr, b.nbr) {
+		t.Fatalf("%s: neighbor rows differ", label)
+	}
+	if !slices.Equal(a.wt, b.wt) {
+		t.Fatalf("%s: edge weights differ", label)
+	}
+	if a.hmax != b.hmax || a.mdeg != b.mdeg {
+		t.Fatalf("%s: hmax/mdeg = %d/%d vs %d/%d", label, a.hmax, a.mdeg, b.hmax, b.mdeg)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: edges = %d vs %d", label, a.NumEdges(), b.NumEdges())
+	}
+}
+
+// TestBuildMatchesReference: the parallel CSR build and the pre-CSR
+// map-of-maps reference construct identical graphs on random instances,
+// for full and subset member sets.
+func TestBuildMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r)
+		var ids []tm.TxnID
+		if seed%3 == 1 { // every third case: a strict subset
+			for i := 0; i < in.NumTxns(); i += 2 {
+				ids = append(ids, tm.TxnID(i))
+			}
+		}
+		want := BuildReference(in, ids)
+		got := BuildOpts(in, ids, Options{Workers: 1 + int(seed%4)})
+		csrEqual(t, "seed", got, want)
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers: the same instance yields identical
+// CSR bytes, Γ, h_max, and greedy coloring at every worker count. Run
+// under -race this also exercises the parallel build for data races.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Large enough that the auto policy would genuinely parallelize.
+	n, w, k := 700, 150, 3
+	g := graph.New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[r.Intn(i)]), 1+r.Int63n(4))
+	}
+	in := tm.UniformK(w, k).Generate(r, g, nil, g.Nodes(), tm.PlaceAtRandomUser)
+
+	base := BuildOpts(in, nil, Options{Workers: 1})
+	baseTimes := base.GreedyColor(base.OrderByNode(in))
+	if base.WeightedDegree() == 0 {
+		t.Fatal("degenerate instance: no conflicts")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		h := BuildOpts(in, nil, Options{Workers: workers})
+		csrEqual(t, "workers", h, base)
+		if h.WeightedDegree() != base.WeightedDegree() {
+			t.Fatalf("workers=%d: Γ = %d, want %d", workers, h.WeightedDegree(), base.WeightedDegree())
+		}
+		if !slices.Equal(h.GreedyColor(h.OrderByNode(in)), baseTimes) {
+			t.Fatalf("workers=%d: greedy coloring differs", workers)
+		}
+	}
+}
+
+// TestBuildExternalIndex: building against a caller-maintained
+// ConflictIndex (the windows extension's incremental reuse path) matches
+// building from the instance's own cached index.
+func TestBuildExternalIndex(t *testing.T) {
+	in := pathInstance()
+	index := tm.NewConflictIndex(in.NumObjects)
+	for i := range in.Txns {
+		index.Add(in.Txns[i].ID, in.Txns[i].Objects)
+	}
+	csrEqual(t, "external index", BuildOpts(in, nil, Options{Index: index}), Build(in, nil))
+
+	// Remove txn 2 (the hub) from the index: builds over the index must
+	// reflect the smaller member set even with ids = all.
+	index.Remove(2, in.Txns[2].Objects)
+	h := BuildOpts(in, nil, Options{Index: index})
+	if h.Degree(2) != 0 {
+		t.Fatalf("removed member still has degree %d", h.Degree(2))
+	}
+	if h.MaxDegree() != 1 {
+		t.Fatalf("MaxDegree = %d after hub removal, want 1", h.MaxDegree())
+	}
+}
+
+// TestCheckColoringEdgeCases: empty graphs, single members, and weight-0
+// conflict pairs all round-trip through GreedyColor / CheckColoring.
+func TestCheckColoringEdgeCases(t *testing.T) {
+	in := pathInstance()
+
+	t.Run("empty", func(t *testing.T) {
+		h := Build(in, []tm.TxnID{})
+		if h.Len() != 0 || h.HMax() != 0 || h.MaxDegree() != 0 || h.NumEdges() != 0 {
+			t.Fatalf("empty graph: Len=%d HMax=%d Δ=%d edges=%d", h.Len(), h.HMax(), h.MaxDegree(), h.NumEdges())
+		}
+		if err := h.CheckColoring(h.GreedyColor(nil)); err != nil {
+			t.Fatalf("empty coloring rejected: %v", err)
+		}
+		if err := h.CheckColoring([]int64{1}); err == nil {
+			t.Fatal("CheckColoring accepted 1 time for 0 members")
+		}
+	})
+
+	t.Run("single member", func(t *testing.T) {
+		h := Build(in, []tm.TxnID{2})
+		times := h.GreedyColor(nil)
+		if len(times) != 1 || times[0] != 1 {
+			t.Fatalf("single member times = %v, want [1]", times)
+		}
+		if err := h.CheckColoring(times); err != nil {
+			t.Fatalf("single-member coloring rejected: %v", err)
+		}
+		if err := h.CheckColoring([]int64{0}); err == nil {
+			t.Fatal("CheckColoring accepted time 0")
+		}
+	})
+
+	t.Run("weight-0 conflict pair", func(t *testing.T) {
+		// A metric that reports distance 0 between distinct nodes makes a
+		// conflict edge of weight 0: the pair still counts toward degrees,
+		// but any positive times (even equal ones) satisfy |ti−tj| ≥ 0.
+		g := graph.New(2)
+		g.AddUnitEdge(0, 1)
+		zero := graph.FuncMetric(func(u, v graph.NodeID) int64 { return 0 })
+		in0 := tm.NewInstance(g, zero, 1, []tm.Txn{
+			{Node: 0, Objects: []tm.ObjectID{0}},
+			{Node: 1, Objects: []tm.ObjectID{0}},
+		}, []graph.NodeID{0})
+		h := Build(in0, nil)
+		if h.NumEdges() != 1 || h.HMax() != 0 || h.Degree(0) != 1 {
+			t.Fatalf("weight-0 pair: edges=%d hmax=%d deg0=%d", h.NumEdges(), h.HMax(), h.Degree(0))
+		}
+		times := h.GreedyColor(nil)
+		if err := h.CheckColoring(times); err != nil {
+			t.Fatalf("weight-0 coloring rejected: %v", err)
+		}
+		if err := h.CheckColoring([]int64{3, 3}); err != nil {
+			t.Fatalf("equal times rejected across a weight-0 edge: %v", err)
+		}
+	})
+}
+
+// TestGreedyColorPartialOrderPanics: every malformed caller-supplied order
+// (short, long, out-of-range entry, duplicate entry) panics instead of
+// silently producing a partial coloring.
+func TestGreedyColorPartialOrderPanics(t *testing.T) {
+	in := pathInstance()
+	h := Build(in, nil)
+	for name, order := range map[string][]int{
+		"short":        {0, 1},
+		"long":         {0, 1, 2, 3, 4, 0},
+		"out of range": {0, 1, 2, 3, 5},
+		"negative":     {0, 1, 2, 3, -1},
+		"duplicate":    {0, 1, 2, 3, 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("GreedyColor accepted %s order %v", name, order)
+				}
+			}()
+			h.GreedyColor(order)
+		})
+	}
+}
+
+// TestWarmCSRQueriesZeroAlloc: warm queries against a built graph are pure
+// slice walks — the CI gate pins 0 allocs/op for Weight, Degree, Neighbors
+// iteration, and CheckColoring.
+func TestWarmCSRQueriesZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := randomInstance(r)
+	h := Build(in, nil)
+	times := h.GreedyColor(nil)
+	var sink int64
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < h.Len(); i++ {
+			for j := 0; j < h.Len(); j++ {
+				sink += h.Weight(i, j)
+			}
+			sink += int64(h.Degree(i))
+			row, wts := h.Neighbors(i)
+			for e := range row {
+				sink += int64(row[e]) + wts[e]
+			}
+		}
+		if err := h.CheckColoring(times); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm CSR queries allocated %.1f allocs/op, want 0", allocs)
+	}
+	_ = sink
 }

@@ -160,6 +160,11 @@ type Timing struct {
 	Schedule time.Duration
 	Verify   time.Duration
 	Measure  time.Duration
+	// DepGraphBuild is the portion of the Schedule stage the scheduler
+	// spent constructing conflict graphs (summed over builds — Grid and
+	// Star build one per tile/period). Zero when the scheduler reports no
+	// build instrumentation (baselines, precomputed schedules).
+	DepGraphBuild time.Duration
 	// Total is the whole pipeline, including stage bookkeeping.
 	Total time.Duration
 }
@@ -281,6 +286,14 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 		return fail(StageSchedule, 0, fmt.Errorf("job %q has neither Scheduler nor Schedule", job.Name))
 	}
 	rep.Timing.Schedule = time.Since(t0)
+	if ns, ok := rep.Stats["depgraph_build_ns"]; ok {
+		// The build wall time is the one non-deterministic scheduler stat;
+		// move it into Timing (whose fields are documented as such) so
+		// Report.Stats stays byte-identical across runs and worker counts.
+		rep.Timing.DepGraphBuild = time.Duration(ns)
+		col.DepGraphBuild(rep.Stats)
+		delete(rep.Stats, "depgraph_build_ns")
+	}
 	emit(StageSchedule, rep.Timing.Schedule, nil, nil)
 
 	// Verify: policy-dependent feasibility checking.

@@ -14,6 +14,7 @@ import (
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
 	"dtmsched/internal/graph"
+	"dtmsched/internal/obs"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
 	"dtmsched/internal/xrand"
@@ -101,6 +102,54 @@ func TestRunFullPipeline(t *testing.T) {
 	}
 	if rep.Schedule == nil {
 		t.Error("report carries no schedule")
+	}
+}
+
+// TestDepGraphBuildTiming checks the hand-off of conflict-graph build
+// instrumentation: the scheduler's wall-clock depgraph_build_ns stat moves
+// into Timing.DepGraphBuild (keeping Report.Stats deterministic), the
+// deterministic build stats stay, and the collector's registry picks up the
+// depgraph_* counters.
+func TestDepGraphBuildTiming(t *testing.T) {
+	col := obs.NewMetricsCollector()
+	rep, err := Run(context.Background(), Job{
+		Name: "g", Gen: cliqueGen(32, 8, 2, 7), Scheduler: &core.Greedy{}, Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timing.DepGraphBuild <= 0 {
+		t.Errorf("Timing.DepGraphBuild = %v, want > 0 for greedy", rep.Timing.DepGraphBuild)
+	}
+	if rep.Timing.DepGraphBuild > rep.Timing.Schedule {
+		t.Errorf("build time %v exceeds whole schedule stage %v", rep.Timing.DepGraphBuild, rep.Timing.Schedule)
+	}
+	if _, ok := rep.Stats["depgraph_build_ns"]; ok {
+		t.Error("wall-clock depgraph_build_ns leaked into deterministic Stats")
+	}
+	if rep.Stats["depgraph_builds"] != 1 || rep.Stats["depgraph_edges"] <= 0 {
+		t.Errorf("build stats missing: %v", rep.Stats)
+	}
+	reg := col.Registry()
+	if got := reg.Counter("depgraph_builds_total").Value(); got != 1 {
+		t.Errorf("depgraph_builds_total = %d, want 1", got)
+	}
+	if reg.Counter("depgraph_build_ns_total").Value() <= 0 || reg.Counter("depgraph_edges_total").Value() <= 0 {
+		t.Error("registry missing depgraph build counters")
+	}
+
+	// A baseline scheduler builds no conflict graph: no timing, no counters.
+	rep2, err := Run(context.Background(), Job{
+		Name: "b", Gen: cliqueGen(32, 8, 2, 7), Scheduler: baseline.Sequential{}, Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Timing.DepGraphBuild != 0 {
+		t.Errorf("baseline DepGraphBuild = %v, want 0", rep2.Timing.DepGraphBuild)
+	}
+	if got := reg.Counter("depgraph_builds_total").Value(); got != 1 {
+		t.Errorf("baseline incremented depgraph_builds_total to %d", got)
 	}
 }
 

@@ -104,6 +104,33 @@ func (c *Collector) Stage(job int, name, stage string, wall time.Duration, err e
 	c.mu.Unlock()
 }
 
+// DepGraphBuild records conflict-graph build instrumentation from a
+// scheduler's stats map (the depgraph_* keys written by core schedulers):
+// build count, wall time, and edge totals as counters, plus per-run
+// distributions of edges, Γ, and h_max. A stats map without
+// depgraph_build_ns (baselines, precomputed schedules) is a no-op, as is
+// a nil collector.
+func (c *Collector) DepGraphBuild(stats map[string]int64) {
+	if c == nil {
+		return
+	}
+	ns, ok := stats["depgraph_build_ns"]
+	if !ok {
+		return
+	}
+	c.reg.Counter("depgraph_build_ns_total").Add(ns)
+	c.reg.Counter("depgraph_builds_total").Add(stats["depgraph_builds"])
+	c.reg.Counter("depgraph_edges_total").Add(stats["depgraph_edges"])
+	c.reg.Histogram("depgraph_build_us", nil).Observe(ns / 1000)
+	c.reg.Histogram("depgraph_edges", nil).Observe(stats["depgraph_edges"])
+	if gamma, ok := stats["gamma"]; ok {
+		c.reg.Histogram("depgraph_gamma", nil).Observe(gamma)
+	}
+	if hmax, ok := stats["hmax"]; ok {
+		c.reg.Histogram("depgraph_hmax", nil).Observe(hmax)
+	}
+}
+
 // run returns (creating if needed) the trace for (job, name).
 func (c *Collector) run(job int, name string) *runTrace {
 	c.mu.Lock()

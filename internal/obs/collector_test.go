@@ -12,10 +12,12 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 	var c *Collector
 	in, s := lineInstance()
 	err := errors.New("boom")
+	stats := map[string]int64{"depgraph_build_ns": 1, "depgraph_builds": 1}
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Stage(0, "job", "verify", time.Millisecond, nil)
 		c.Stage(0, "job", "verify", time.Millisecond, err)
 		c.RecordRun(0, "job", "alg", in, s, nil)
+		c.DepGraphBuild(stats)
 		if c.Tracing() {
 			t.Fatal("nil collector must not trace")
 		}
@@ -48,6 +50,42 @@ func TestCollectorStageMetrics(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Errorf("metrics-only collector exported %d bytes of trace", buf.Len())
+	}
+}
+
+func TestCollectorDepGraphBuild(t *testing.T) {
+	c := NewMetricsCollector()
+	// A stats map without depgraph_build_ns (baseline schedulers) is a no-op.
+	c.DepGraphBuild(map[string]int64{"makespan": 10})
+	c.DepGraphBuild(map[string]int64{
+		"depgraph_build_ns": 4_000_000, "depgraph_builds": 2, "depgraph_edges": 33,
+		"gamma": 12, "hmax": 3,
+	})
+	c.DepGraphBuild(map[string]int64{
+		"depgraph_build_ns": 1_000_000, "depgraph_builds": 1, "depgraph_edges": 7,
+	})
+	reg := c.Registry()
+	if got := reg.Counter("depgraph_build_ns_total").Value(); got != 5_000_000 {
+		t.Errorf("build ns total = %d, want 5000000", got)
+	}
+	if got := reg.Counter("depgraph_builds_total").Value(); got != 3 {
+		t.Errorf("builds total = %d, want 3", got)
+	}
+	if got := reg.Counter("depgraph_edges_total").Value(); got != 40 {
+		t.Errorf("edges total = %d, want 40", got)
+	}
+	if h := reg.Histogram("depgraph_build_us", nil); h.Count() != 2 || h.Sum() != 5000 {
+		t.Errorf("build_us histogram count=%d sum=%d, want 2/5000", h.Count(), h.Sum())
+	}
+	if h := reg.Histogram("depgraph_edges", nil); h.Count() != 2 || h.Sum() != 40 {
+		t.Errorf("edges histogram count=%d sum=%d, want 2/40", h.Count(), h.Sum())
+	}
+	// Γ and h_max distributions only observe when the scheduler reported them.
+	if h := reg.Histogram("depgraph_gamma", nil); h.Count() != 1 || h.Sum() != 12 {
+		t.Errorf("gamma histogram count=%d sum=%d, want 1/12", h.Count(), h.Sum())
+	}
+	if h := reg.Histogram("depgraph_hmax", nil); h.Count() != 1 || h.Sum() != 3 {
+		t.Errorf("hmax histogram count=%d sum=%d, want 1/3", h.Count(), h.Sum())
 	}
 }
 

@@ -163,8 +163,9 @@ func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
 	// guarantees progress long before it.
 	var horizon int64 = 16
 	var diamBound int64
+	index := in.Index()
 	for o := range objs {
-		for _, id := range in.Users(tm.ObjectID(o)) {
+		for _, id := range index.Members(tm.ObjectID(o)) {
 			if d := in.Dist(in.Home[o], in.Txns[id].Node); d > diamBound {
 				diamBound = d
 			}

@@ -1,0 +1,88 @@
+package tm
+
+import "sort"
+
+// ConflictIndex is the shared object → member-transaction index: for every
+// object o it lists, in ascending TxnID order, the transactions requesting
+// o (the paper's set A_i). It is the single source of conflict information
+// in the repo — the dependency-graph builder (internal/depgraph), the
+// multi-window extension (internal/windows), the online executor
+// (internal/online), and the baseline orderings (internal/baseline) all
+// consume it instead of re-deriving memberships from Txns[].Objects.
+//
+// An index is either owned by an Instance (built once, read-only, shared
+// across concurrent engine jobs — see Instance.Index) or free-standing and
+// mutable: NewConflictIndex plus Add/Remove support workloads whose member
+// set evolves, such as the windows extension re-registering each window's
+// transactions instead of rebuilding the index from scratch.
+type ConflictIndex struct {
+	members [][]TxnID
+}
+
+// NewConflictIndex returns an empty mutable index over numObjects objects.
+func NewConflictIndex(numObjects int) *ConflictIndex {
+	return &ConflictIndex{members: make([][]TxnID, numObjects)}
+}
+
+// IndexTxns bulk-builds the index of a transaction set: members appear in
+// ascending TxnID order because transactions are scanned in ID order.
+func IndexTxns(numObjects int, txns []Txn) *ConflictIndex {
+	ci := NewConflictIndex(numObjects)
+	for i := range txns {
+		for _, o := range txns[i].Objects {
+			ci.members[o] = append(ci.members[o], txns[i].ID)
+		}
+	}
+	return ci
+}
+
+// NumObjects returns the number of objects the index covers.
+func (ci *ConflictIndex) NumObjects() int { return len(ci.members) }
+
+// Members returns the transactions requesting object o, in ascending ID
+// order. The returned slice is the index's own storage: callers must not
+// modify it, and must not retain it across Add/Remove.
+func (ci *ConflictIndex) Members(o ObjectID) []TxnID { return ci.members[o] }
+
+// MaxUse returns ℓ = max_o |Members(o)|, zero for an empty index.
+func (ci *ConflictIndex) MaxUse() int {
+	maxUse := 0
+	for _, ms := range ci.members {
+		if len(ms) > maxUse {
+			maxUse = len(ms)
+		}
+	}
+	return maxUse
+}
+
+// Add registers a transaction as a member of each listed object, keeping
+// member lists sorted. Adding an already-present member is a no-op, so
+// re-registration is idempotent.
+func (ci *ConflictIndex) Add(id TxnID, objects []ObjectID) {
+	for _, o := range objects {
+		ms := ci.members[o]
+		i := sort.Search(len(ms), func(i int) bool { return ms[i] >= id })
+		if i < len(ms) && ms[i] == id {
+			continue
+		}
+		ms = append(ms, 0)
+		copy(ms[i+1:], ms[i:])
+		ms[i] = id
+		ci.members[o] = ms
+	}
+}
+
+// Remove deregisters a transaction from each listed object. Removing an
+// absent member is a no-op. The freed capacity is retained, so a
+// Remove/Add cycle over same-sized windows allocates nothing.
+func (ci *ConflictIndex) Remove(id TxnID, objects []ObjectID) {
+	for _, o := range objects {
+		ms := ci.members[o]
+		i := sort.Search(len(ms), func(i int) bool { return ms[i] >= id })
+		if i >= len(ms) || ms[i] != id {
+			continue
+		}
+		copy(ms[i:], ms[i+1:])
+		ci.members[o] = ms[:len(ms)-1]
+	}
+}

@@ -1,0 +1,118 @@
+package tm
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dtmsched/internal/graph"
+)
+
+func conflictTestInstance() *Instance {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return NewInstance(g, nil, 3, []Txn{
+		{Node: 0, Objects: []ObjectID{0, 1}},
+		{Node: 1, Objects: []ObjectID{0}},
+		{Node: 2, Objects: []ObjectID{1, 2}},
+		{Node: 3, Objects: nil},
+	}, []graph.NodeID{0, 1, 2})
+}
+
+func TestInstanceIndexBacksUsers(t *testing.T) {
+	in := conflictTestInstance()
+	index := in.Index()
+	if index != in.Index() {
+		t.Fatal("Index not cached")
+	}
+	want := map[ObjectID][]TxnID{0: {0, 1}, 1: {0, 2}, 2: {2}}
+	for o, members := range want {
+		if !slices.Equal(index.Members(o), members) {
+			t.Fatalf("Members(%d) = %v, want %v", o, index.Members(o), members)
+		}
+		if !slices.Equal(in.Users(o), members) {
+			t.Fatalf("Users(%d) = %v, want %v", o, in.Users(o), members)
+		}
+	}
+	if in.MaxUse() != 2 || index.MaxUse() != 2 {
+		t.Fatalf("MaxUse = %d/%d, want 2", in.MaxUse(), index.MaxUse())
+	}
+	if index.NumObjects() != 3 {
+		t.Fatalf("NumObjects = %d", index.NumObjects())
+	}
+}
+
+func TestConflictIndexAddRemove(t *testing.T) {
+	ci := NewConflictIndex(2)
+	if ci.MaxUse() != 0 {
+		t.Fatalf("empty MaxUse = %d", ci.MaxUse())
+	}
+	// Out-of-order adds keep member lists sorted.
+	ci.Add(5, []ObjectID{0, 1})
+	ci.Add(1, []ObjectID{0})
+	ci.Add(3, []ObjectID{0})
+	if got := ci.Members(0); !slices.Equal(got, []TxnID{1, 3, 5}) {
+		t.Fatalf("Members(0) = %v", got)
+	}
+	// Idempotent re-add.
+	ci.Add(3, []ObjectID{0})
+	if got := ci.Members(0); !slices.Equal(got, []TxnID{1, 3, 5}) {
+		t.Fatalf("Members(0) after re-add = %v", got)
+	}
+	ci.Remove(3, []ObjectID{0})
+	if got := ci.Members(0); !slices.Equal(got, []TxnID{1, 5}) {
+		t.Fatalf("Members(0) after remove = %v", got)
+	}
+	// Removing an absent member is a no-op.
+	ci.Remove(3, []ObjectID{0, 1})
+	if got := ci.Members(1); !slices.Equal(got, []TxnID{5}) {
+		t.Fatalf("Members(1) = %v", got)
+	}
+	if ci.MaxUse() != 2 {
+		t.Fatalf("MaxUse = %d, want 2", ci.MaxUse())
+	}
+}
+
+// TestConflictIndexWindowCycle: deregistering one "window" of transactions
+// and registering another leaves the index identical to a fresh bulk build
+// — the reuse contract the windows extension depends on.
+func TestConflictIndexWindowCycle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const numObjects = 16
+	makeTxns := func() []Txn {
+		txns := make([]Txn, 12)
+		for i := range txns {
+			objs := map[ObjectID]bool{}
+			for len(objs) < 1+r.Intn(3) {
+				objs[ObjectID(r.Intn(numObjects))] = true
+			}
+			txns[i].ID = TxnID(i)
+			for o := range objs {
+				txns[i].Objects = append(txns[i].Objects, o)
+			}
+			sortObjects(txns[i].Objects)
+		}
+		return txns
+	}
+	ci := NewConflictIndex(numObjects)
+	var prev []Txn
+	for window := 0; window < 5; window++ {
+		cur := makeTxns()
+		for i := range prev {
+			ci.Remove(prev[i].ID, prev[i].Objects)
+		}
+		for i := range cur {
+			ci.Add(cur[i].ID, cur[i].Objects)
+		}
+		prev = cur
+		fresh := IndexTxns(numObjects, cur)
+		for o := 0; o < numObjects; o++ {
+			if !slices.Equal(ci.Members(ObjectID(o)), fresh.Members(ObjectID(o))) {
+				t.Fatalf("window %d object %d: reused index %v != fresh %v",
+					window, o, ci.Members(ObjectID(o)), fresh.Members(ObjectID(o)))
+			}
+		}
+	}
+}

@@ -56,8 +56,8 @@ type Instance struct {
 	// Home[o] is the node initially holding object o.
 	Home []graph.NodeID
 
-	usersOnce sync.Once
-	users     [][]TxnID // lazily built object → requesting-transaction index
+	indexOnce sync.Once
+	index     *ConflictIndex // lazily built object → requesting-transaction index
 
 	txnAtOnce sync.Once
 	txnAt     []TxnID // lazily built node → hosted-transaction index (-1 = none)
@@ -117,35 +117,32 @@ func (in *Instance) PrecomputeDistAuto(workers int) bool {
 	return in.PrecomputeDist(workers)
 }
 
-// Users returns the IDs of the transactions requesting object o (the
-// paper's set A_i), in increasing ID order. The index is built on first use
-// and cached; the build is synchronized so instances may be shared across
-// concurrent engine jobs.
-func (in *Instance) Users(o ObjectID) []TxnID {
-	in.usersOnce.Do(in.buildUsers)
-	return in.users[o]
+// Index returns the instance's ConflictIndex (object → requesting
+// transactions). It is built on first use and cached; the build is
+// synchronized so instances may be shared across concurrent engine jobs.
+// The returned index is owned by the instance and must be treated as
+// read-only — callers that need a mutable index (evolving member sets)
+// build their own with NewConflictIndex / IndexTxns.
+func (in *Instance) Index() *ConflictIndex {
+	in.indexOnce.Do(in.buildIndex)
+	return in.index
 }
 
-func (in *Instance) buildUsers() {
-	users := make([][]TxnID, in.NumObjects)
-	for i := range in.Txns {
-		for _, o := range in.Txns[i].Objects {
-			users[o] = append(users[o], TxnID(i))
-		}
-	}
-	in.users = users
+func (in *Instance) buildIndex() {
+	in.index = IndexTxns(in.NumObjects, in.Txns)
+}
+
+// Users returns the IDs of the transactions requesting object o (the
+// paper's set A_i), in increasing ID order — shorthand for
+// Index().Members(o).
+func (in *Instance) Users(o ObjectID) []TxnID {
+	return in.Index().Members(o)
 }
 
 // MaxUse returns ℓ = max_i |A_i|: the largest number of transactions
 // sharing a single object. Zero for an instance with no requests.
 func (in *Instance) MaxUse() int {
-	maxUse := 0
-	for o := 0; o < in.NumObjects; o++ {
-		if u := len(in.Users(ObjectID(o))); u > maxUse {
-			maxUse = u
-		}
-	}
-	return maxUse
+	return in.Index().MaxUse()
 }
 
 // MaxK returns the largest per-transaction object count k.

@@ -91,8 +91,25 @@ func Run(seq *Sequence, pipelined bool) (*Result, error) {
 	nodeBusy := make(map[graph.NodeID]int64) // last commit step per node
 	var clock int64
 
+	// One mutable conflict index is reused across the whole sequence:
+	// window i's members are deregistered and window i+1's registered in
+	// place, so the per-window dependency graphs are built without
+	// re-deriving object memberships (or reallocating member lists) from
+	// scratch each window.
+	index := tm.NewConflictIndex(seq.NumObjects)
+	var prev *tm.Instance
+
 	for wi, in := range seq.Windows {
-		h := depgraph.Build(in, nil)
+		if prev != nil {
+			for i := range prev.Txns {
+				index.Remove(prev.Txns[i].ID, prev.Txns[i].Objects)
+			}
+		}
+		for i := range in.Txns {
+			index.Add(in.Txns[i].ID, in.Txns[i].Objects)
+		}
+		prev = in
+		h := depgraph.BuildOpts(in, nil, depgraph.Options{Index: index})
 		local := h.GreedyColor(h.OrderByNode(in))
 
 		s := schedule.New(in.NumTxns())

@@ -38,6 +38,15 @@ echo "== distance oracle guards =="
 go test ./internal/graph -run 'TestPrecomputedDistZeroAlloc|TestWarmTreeDistZeroAlloc' -count=1
 go test ./internal/graph -run '^$' -bench 'BenchmarkDistParallel' -benchtime 1x -count=1 >/dev/null
 
+echo "== conflict-graph layer guards =="
+# Warm CSR queries (Weight/Degree/Neighbors/CheckColoring) must stay
+# zero-alloc, and the parallel build must produce byte-identical CSR
+# storage at every worker count; the build benchmark must at least
+# compile and run (1 iteration smoke — the ≥2× speedup vs the map-based
+# reference builder is checked manually with -benchtime).
+go test ./internal/depgraph -run 'TestWarmCSRQueriesZeroAlloc|TestBuildDeterministicAcrossWorkers' -count=1
+go test . -run '^$' -bench 'BenchmarkDepGraphBuild' -benchtime 1x -count=1 >/dev/null
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
