@@ -8,7 +8,13 @@
 //
 //	dtmbench [-quick] [-trials N] [-seed S] [-only E5[,E6,…]] [-md]
 //	         [-parallel N] [-timeout D] [-precompute auto|on|off]
+//	         [-faults RATE[,RATE…][,SEED]]
 //	         [-json FILE] [-trace FILE] [-metrics FILE] [-http ADDR]
+//
+// -faults runs the fault-injection sweep (E20, unless -only selects
+// more): fractional tokens are fault rates, an integer token reseeds the
+// run. A single rate r expands to the ladder 0, r/4, r/2, r; the
+// inflation-vs-fault-rate table lands in the normal output and -json.
 //
 // -trace writes a structured JSONL run trace to FILE and a Chrome
 // trace-event file (open it in Perfetto or chrome://tracing) next to it;
@@ -28,6 +34,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -155,6 +162,7 @@ func main() {
 		precomp  = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		buildb   = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
+		faultsIn = flag.String("faults", "", "fault-injection sweep: comma-separated fault rates in [0,1) plus an optional integer seed (selects E20 unless -only is set)")
 		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
 		traceOut = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
 		metrOut  = flag.String("metrics", "", "write the final metrics snapshot (JSON) to FILE")
@@ -176,6 +184,20 @@ func main() {
 	cfg.Workers = *parallel
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *faultsIn != "" {
+		rates, fseed, err := parseFaultsSpec(*faultsIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.FaultRates = rates
+		if fseed != 0 && *seed == 0 {
+			cfg.Seed = fseed
+		}
+		if *only == "" {
+			*only = "E20"
+		}
 	}
 	switch *precomp {
 	case "auto":
@@ -323,6 +345,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dtmbench: %d shape checks failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// parseFaultsSpec parses the -faults argument: fractional tokens in
+// [0,1) are fault rates, a single integer token is a root seed. One
+// nonzero rate r expands to the ladder 0, r/4, r/2, r; explicit multi-rate
+// lists gain a leading 0 (the fault-free baseline column) when missing.
+func parseFaultsSpec(spec string) (rates []float64, seed int64, err error) {
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if !strings.Contains(tok, ".") {
+			n, perr := strconv.ParseInt(tok, 10, 64)
+			if perr != nil {
+				return nil, 0, fmt.Errorf("token %q is neither a rate nor an integer seed", tok)
+			}
+			if n == 0 {
+				rates = append(rates, 0)
+				continue
+			}
+			if seed != 0 {
+				return nil, 0, fmt.Errorf("two seeds given (%d and %d)", seed, n)
+			}
+			seed = n
+			continue
+		}
+		v, perr := strconv.ParseFloat(tok, 64)
+		if perr != nil || v < 0 || v >= 1 {
+			return nil, 0, fmt.Errorf("fault rate %q must be in [0,1)", tok)
+		}
+		rates = append(rates, v)
+	}
+	var nonzero []float64
+	for _, r := range rates {
+		if r > 0 {
+			nonzero = append(nonzero, r)
+		}
+	}
+	if len(nonzero) == 1 {
+		r := nonzero[0]
+		rates = []float64{0, r / 4, r / 2, r}
+	} else if len(nonzero) > 1 {
+		rates = append([]float64{0}, nonzero...)
+		sort.Float64s(rates)
+	}
+	return rates, seed, nil
 }
 
 // writeFileWith streams a collector export into a file.

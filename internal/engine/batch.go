@@ -4,11 +4,30 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dtmsched/internal/obs"
 )
+
+// RetryPolicy re-runs failed job attempts with bounded exponential
+// backoff. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job, including the
+	// first (values ≤ 1 mean no retry).
+	MaxAttempts int
+	// Backoff is the wait before the second attempt (default 50ms); it
+	// doubles after every failure up to MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 1s).
+	MaxBackoff time.Duration
+	// Retryable filters which errors are worth retrying. Nil retries
+	// every failure while the batch context is alive — deterministic
+	// failures simply burn their bounded attempts.
+	Retryable func(error) bool
+}
 
 // Options configures RunBatch.
 type Options struct {
@@ -23,20 +42,77 @@ type Options struct {
 	// every job that does not carry its own Job.Collector. Collectors
 	// are goroutine-safe; nil costs nothing.
 	Collector *obs.Collector
+	// Deadline bounds each job attempt's wall time (0 = none). An
+	// attempt that exceeds it is abandoned: the worker records the
+	// deadline error and moves on, so one hung run cannot stall the
+	// pool. The abandoned goroutine exits at its next stage boundary
+	// (its context is cancelled); the worker emits the terminal errored
+	// event immediately, so hooks and collectors may see one extra late
+	// stage event from the abandoned attempt.
+	Deadline time.Duration
+	// Retry re-runs failed attempts per RetryPolicy. Each retry is
+	// counted on the collector (engine_retries_total).
+	Retry RetryPolicy
 }
 
-// JobResult pairs one job with its outcome. Exactly one of Report / Err is
-// set: jobs skipped by cancellation carry the context's error.
+// JobResult pairs one job with its outcome. Err is nil on success. On
+// failure, Report may still carry the partial report of the stages that
+// completed before the error (a schedule whose verification or faulty
+// replay failed, for example) — the degraded state; see State and
+// PartialReports. Jobs skipped by cancellation carry the context's error.
 type JobResult struct {
 	// Index is the job's position in the input slice.
 	Index int
 	// Name echoes the job label.
 	Name string
-	// Report is the finished report on success.
+	// Report is the finished report on success, or the partial report on
+	// a degraded failure (nil when nothing useful completed).
 	Report *Report
 	// Err is the job's failure: a pipeline error, a recovered scheduler
-	// panic, or the context error for jobs not run before cancellation.
+	// panic, a deadline overrun, or the context error for jobs not run
+	// before cancellation.
 	Err error
+}
+
+// State classifies a JobResult.
+type State int
+
+// Job outcome states.
+const (
+	// StateOK: the job completed; Report is final.
+	StateOK State = iota
+	// StateDegraded: the job failed but produced a usable partial report
+	// (at least a schedule); Err explains what was lost.
+	StateDegraded
+	// StateFailed: the job failed with nothing to show.
+	StateFailed
+)
+
+// String names the state for logs.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// State classifies the result: OK, degraded (partial report + error), or
+// failed outright.
+func (r JobResult) State() State {
+	switch {
+	case r.Err == nil:
+		return StateOK
+	case r.Report != nil:
+		return StateDegraded
+	default:
+		return StateFailed
+	}
 }
 
 // RunBatch fans jobs out over a bounded worker pool. It always returns one
@@ -44,9 +120,10 @@ type JobResult struct {
 // panicking job fails its own result, not the sweep. Cancelling the
 // context returns promptly: running jobs stop at their next stage
 // boundary, unstarted jobs are marked with the context error, and all
-// workers are joined before returning (no goroutine leaks). The returned
-// error is the context's error, if any; per-job failures are reported only
-// through the results.
+// workers are joined before returning (no goroutine leaks — except
+// attempts abandoned by Options.Deadline, which exit at their next stage
+// boundary). The returned error is the context's error, if any; per-job
+// failures are reported only through the results.
 func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -78,7 +155,7 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 				if col == nil {
 					col = opt.Collector
 				}
-				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook), col)
+				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook), col, opt)
 			}
 		}()
 	}
@@ -86,9 +163,79 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 	return results, ctx.Err()
 }
 
-// runJob executes one job, converting panics (a buggy scheduler, a bad
-// workload closure) into that job's error.
-func runJob(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector) (res JobResult) {
+// runJob executes one job under the batch's retry policy: failed attempts
+// are re-run with doubling backoff until they succeed, exhaust
+// MaxAttempts, are ruled out by Retryable, or the batch context dies.
+func runJob(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector, opt Options) JobResult {
+	attempts := opt.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := opt.Retry.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := opt.Retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	var res JobResult
+	for attempt := 1; ; attempt++ {
+		res = runAttempt(ctx, i, job, hook, col, opt.Deadline)
+		if res.Err == nil || attempt >= attempts || ctx.Err() != nil {
+			return res
+		}
+		if opt.Retry.Retryable != nil && !opt.Retry.Retryable(res.Err) {
+			return res
+		}
+		col.Retry()
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// runAttempt executes one attempt, bounding it by the per-job deadline
+// when one is set. On overrun the attempt is abandoned — its context is
+// cancelled, the worker synthesizes the terminal errored event (so
+// collectors and hooks always see the job end, per the engine's terminal-
+// event contract) and returns without waiting for the stuck goroutine.
+func runAttempt(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector, deadline time.Duration) JobResult {
+	if deadline <= 0 {
+		return runRecover(ctx, i, job, hook, col)
+	}
+	jctx, cancel := context.WithTimeout(ctx, deadline)
+	start := time.Now()
+	done := make(chan JobResult, 1) // buffered: the late sender never blocks
+	go func() {
+		defer cancel()
+		done <- runRecover(jctx, i, job, hook, col)
+	}()
+	select {
+	case res := <-done:
+		cancel()
+		return res
+	case <-jctx.Done():
+		err := fmt.Errorf("engine: job %d (%s) exceeded the %v deadline: %w", i, job.Name, deadline, jctx.Err())
+		elapsed := time.Since(start)
+		if hook != nil {
+			hook(Event{Job: i, Name: job.Name, Stage: StageDone, Elapsed: elapsed, Err: err})
+		}
+		col.Stage(i, job.Name, StageDone.String(), elapsed, err)
+		return JobResult{Index: i, Name: job.Name, Err: err}
+	}
+}
+
+// runRecover executes one pipeline run, converting panics (a buggy
+// scheduler, a bad workload closure) into that job's error. A failing run
+// keeps its partial report only when it got far enough to be useful — a
+// schedule to look at — so StateDegraded never surfaces an empty shell.
+func runRecover(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector) (res JobResult) {
 	res = JobResult{Index: i, Name: job.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -97,6 +244,9 @@ func runJob(ctx context.Context, i int, job Job, hook Hook, col *obs.Collector) 
 		}
 	}()
 	res.Report, res.Err = run(ctx, i, job, hook, col)
+	if res.Err != nil && res.Report != nil && res.Report.Schedule == nil {
+		res.Report = nil
+	}
 	return res
 }
 
@@ -122,6 +272,50 @@ func Reports(results []JobResult) ([]*Report, error) {
 			return nil, fmt.Errorf("engine: job %d (%s): %w", r.Index, r.Name, r.Err)
 		}
 		out[i] = r.Report
+	}
+	return out, nil
+}
+
+// Degraded is the error PartialReports returns when some jobs failed: the
+// batch still produced results, just not all of them. Failed holds every
+// non-OK JobResult (degraded ones included, with their partial reports).
+type Degraded struct {
+	// Failed are the results with errors, in job order.
+	Failed []JobResult
+	// Total is the batch size.
+	Total int
+}
+
+// Error summarizes the losses.
+func (d *Degraded) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d of %d jobs failed:", len(d.Failed), d.Total)
+	for i, r := range d.Failed {
+		if i == 3 {
+			fmt.Fprintf(&b, " … (%d more)", len(d.Failed)-i)
+			break
+		}
+		fmt.Fprintf(&b, " [%d %s: %v]", r.Index, r.Name, r.Err)
+	}
+	return b.String()
+}
+
+// PartialReports unwraps a batch in degraded mode: the reports of every
+// successful job, plus a *Degraded error describing the failures (nil
+// when all jobs succeeded). Unlike Reports, one bad job does not discard
+// the rest of the sweep.
+func PartialReports(results []JobResult) ([]*Report, error) {
+	out := make([]*Report, 0, len(results))
+	var failed []JobResult
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r)
+			continue
+		}
+		out = append(out, r.Report)
+	}
+	if len(failed) > 0 {
+		return out, &Degraded{Failed: failed, Total: len(results)}
 	}
 	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dtmsched/internal/core"
+	"dtmsched/internal/faults"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/schedule"
@@ -141,6 +142,15 @@ type Job struct {
 	// SkipLowerBound omits the certified lower-bound computation in the
 	// Measure stage (Report.Bound stays zero, Ratio 0).
 	SkipLowerBound bool
+	// Faults, when set to a non-empty injector, replays the schedule
+	// under fault injection in the Verify stage: sim.RunFaulty
+	// re-dispatches dropped moves with backoff, reroutes around dead
+	// links, and defers commits on crashed nodes. The recovery summary
+	// lands in Report.Fault and the collector's fault_* counters. A
+	// non-empty injector forces the faulty simulation even under
+	// VerifyFast / VerifyOff (injection is meaningless without a replay);
+	// Report.Counters still stays zero outside VerifyFull.
+	Faults faults.Injector
 	// Hook, when set, observes this job's stage completions (in addition
 	// to any batch-level hook).
 	Hook Hook
@@ -207,15 +217,26 @@ type Report struct {
 	Verify VerifyMode
 	// Timing is the per-stage instrumentation.
 	Timing Timing
-	// Counters are the simulator counters (VerifyFull only).
+	// Counters are the simulator counters (VerifyFull only). Under fault
+	// injection they are measured from the faulty replay, so SimSteps is
+	// the recovered makespan, not the schedule's.
 	Counters Counters
+	// Fault summarizes the recovery work of a fault-injected run
+	// (Job.Faults); nil for fault-free runs.
+	Fault *faults.Report
 }
 
 // Run executes one job through the staged pipeline. The context is checked
 // between stages, so cancellation aborts promptly without leaving partial
-// state anywhere but the returned error.
+// state anywhere but the returned error. On error the report is nil;
+// degraded-mode consumers that want partial results use RunBatch and
+// PartialReports.
 func Run(ctx context.Context, job Job) (*Report, error) {
-	return run(ctx, 0, job, job.Hook, job.Collector)
+	rep, err := run(ctx, 0, job, job.Hook, job.Collector)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // run is Run with an explicit batch index, composed hook, and collector.
@@ -230,13 +251,15 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 		}
 		col.Stage(idx, job.Name, stage.String(), elapsed, err)
 	}
+	rep := &Report{Name: job.Name, Verify: job.Verify}
 	fail := func(stage Stage, elapsed time.Duration, err error) (*Report, error) {
 		err = fmt.Errorf("engine: %s stage: %w", stage, err)
 		emit(stage, elapsed, err, nil)
-		return nil, err
+		// The partial report (whatever the completed stages populated) is
+		// returned alongside the error for degraded-mode consumers; Run
+		// discards it, RunBatch keeps it when it carries a schedule.
+		return rep, err
 	}
-
-	rep := &Report{Name: job.Name, Verify: job.Verify}
 
 	// Generate: obtain the instance. Cancellation between stages routes
 	// through fail() like any stage error, so hooks and collectors always
@@ -303,10 +326,39 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 	t0 = time.Now()
 	var simRes *sim.Result
 	switch job.Verify {
-	case VerifyFull:
+	case VerifyFull, VerifyFast:
 		if err := rep.Schedule.Validate(in); err != nil {
 			return fail(StageVerify, time.Since(t0), fmt.Errorf("%s schedule infeasible: %w", rep.Algorithm, err))
 		}
+	case VerifyOff:
+		// Trust the scheduler.
+	default:
+		return fail(StageVerify, 0, fmt.Errorf("unknown verify mode %d", int(job.Verify)))
+	}
+	switch {
+	case job.Faults != nil && !job.Faults.Empty():
+		// Fault injection always replays the schedule, whatever the verify
+		// policy: the replay is the measurement.
+		var frep *faults.Report
+		var err error
+		simRes, frep, err = sim.RunFaulty(in, rep.Schedule, sim.FaultyOptions{
+			Options: sim.Options{Trace: col.Tracing()},
+			Inject:  job.Faults,
+		})
+		if err != nil {
+			return fail(StageVerify, time.Since(t0), fmt.Errorf("faulty replay of %s schedule: %w", rep.Algorithm, err))
+		}
+		rep.Fault = frep
+		col.Fault(frep)
+		if job.Verify == VerifyFull {
+			rep.CommCost = simRes.CommCost
+			rep.Counters = Counters{
+				SimSteps:    simRes.Makespan,
+				ObjectMoves: simRes.Moves,
+				Executed:    int64(simRes.Executed),
+			}
+		}
+	case job.Verify == VerifyFull:
 		var err error
 		simRes, err = sim.Run(in, rep.Schedule, sim.Options{Trace: col.Tracing()})
 		if err != nil {
@@ -318,14 +370,6 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 			ObjectMoves: simRes.Moves,
 			Executed:    int64(simRes.Executed),
 		}
-	case VerifyFast:
-		if err := rep.Schedule.Validate(in); err != nil {
-			return fail(StageVerify, time.Since(t0), fmt.Errorf("%s schedule infeasible: %w", rep.Algorithm, err))
-		}
-	case VerifyOff:
-		// Trust the scheduler.
-	default:
-		return fail(StageVerify, 0, fmt.Errorf("unknown verify mode %d", int(job.Verify)))
 	}
 	rep.Timing.Verify = time.Since(t0)
 	emit(StageVerify, rep.Timing.Verify, nil, nil)

@@ -17,6 +17,7 @@ import (
 
 	"dtmsched/internal/core"
 	"dtmsched/internal/engine"
+	"dtmsched/internal/faults"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/schedule"
@@ -68,6 +69,10 @@ type Config struct {
 	// performance knob: measured makespans, bounds, and ratios are
 	// identical under every mode.
 	Precompute PrecomputeMode
+	// FaultRates overrides E20's fault-rate ladder (dtmbench -faults).
+	// Empty keeps the experiment's default ladder; a 0 entry is the
+	// fault-free baseline column.
+	FaultRates []float64
 }
 
 // prepare applies the precompute policy to a freshly built instance. It
@@ -176,6 +181,9 @@ type cell struct {
 	// P50/P99 are per-transaction latency percentiles: the step at which
 	// a transaction commits, counted from batch activation at step 0.
 	P50, P99 int64
+	// Fault is the recovery summary of a fault-injected run (E20); nil
+	// for fault-free cells.
+	Fault *faults.Report
 }
 
 // Ratio is makespan over the certified lower bound.
@@ -188,7 +196,7 @@ func (c cell) Ratio() float64 {
 
 // cellFromReport converts an engine report into a measurement cell.
 func cellFromReport(r *engine.Report) cell {
-	c := cell{Makespan: r.Makespan, Bound: r.Bound, CommCost: r.CommCost, Stats: r.Stats}
+	c := cell{Makespan: r.Makespan, Bound: r.Bound, CommCost: r.CommCost, Stats: r.Stats, Fault: r.Fault}
 	if r.Schedule != nil {
 		q := obs.Quantiles(r.Schedule.Times, 0.50, 0.99)
 		c.P50, c.P99 = q[0], q[1]

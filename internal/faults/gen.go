@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/xrand"
+)
+
+// Config parameterizes rate-based plan generation (New). All rates are
+// probabilities in [0, 1]; every fault site (link, node) draws from its own
+// seed-derived stream, so the generated plan is identical regardless of
+// graph construction order or parallelism.
+type Config struct {
+	// Seed roots all randomness. The same (Seed, Config, graph) always
+	// yields the same plan.
+	Seed int64
+	// Horizon is the step range [1, Horizon] over which interval faults
+	// start; pick the schedule's fault-free makespan so faults land while
+	// the batch is active. Required ≥ 1 when any interval rate is set.
+	Horizon int64
+	// LinkDownRate is the probability that a link suffers one outage.
+	LinkDownRate float64
+	// LinkSlowRate is the probability that a link suffers one slowdown.
+	LinkSlowRate float64
+	// SlowFactor is the delay multiplier of slowdowns (default 4).
+	SlowFactor int64
+	// CrashRate is the probability that a node suffers one crash window.
+	CrashRate float64
+	// DropRate is the probability that any single object dispatch is lost
+	// in transit (resolved per dispatch by seeded hashing).
+	DropRate float64
+	// MeanOutage is the mean fault duration in steps (default
+	// max(Horizon/8, 1)); durations are uniform in [1, 2·MeanOutage].
+	MeanOutage int64
+}
+
+// rated reports whether any interval fault class has a nonzero rate.
+func (c Config) rated() bool {
+	return c.LinkDownRate > 0 || c.LinkSlowRate > 0 || c.CrashRate > 0
+}
+
+// New generates a plan over g's links and nodes from per-site rates. The
+// draw for each link and node comes from a stream derived from (Seed, kind,
+// site), so two plans with the same seed and config agree fault-by-fault
+// even if the graphs were built in different edge orders.
+func New(cfg Config, g *graph.Graph) (*Plan, error) {
+	if cfg.rated() && cfg.Horizon < 1 {
+		return nil, fmt.Errorf("faults: config has interval fault rates but horizon %d < 1", cfg.Horizon)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"LinkDownRate", cfg.LinkDownRate}, {"LinkSlowRate", cfg.LinkSlowRate}, {"CrashRate", cfg.CrashRate}, {"DropRate", cfg.DropRate}} {
+		if r.v < 0 || r.v > 1 {
+			return nil, fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	factor := cfg.SlowFactor
+	if factor == 0 {
+		factor = 4
+	}
+	if factor < 2 {
+		return nil, fmt.Errorf("faults: slow factor %d < 2", factor)
+	}
+	mean := cfg.MeanOutage
+	if mean == 0 {
+		mean = cfg.Horizon / 8
+		if mean < 1 {
+			mean = 1
+		}
+	}
+	if mean < 1 {
+		return nil, fmt.Errorf("faults: mean outage %d < 1", mean)
+	}
+
+	var fs []Fault
+	interval := func(r float64, kind string, a, b int64) (int64, int64, bool) {
+		if r <= 0 {
+			return 0, 0, false
+		}
+		rng := xrand.NewDerived(cfg.Seed, "faults", kind, fmt.Sprint(a), fmt.Sprint(b))
+		if rng.Float64() >= r {
+			return 0, 0, false
+		}
+		from := 1 + rng.Int63n(cfg.Horizon)
+		dur := 1 + rng.Int63n(2*mean)
+		return from, from + dur, true
+	}
+	if cfg.rated() {
+		n := g.NumNodes()
+		seen := map[linkKey]struct{}{}
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(graph.NodeID(u)) {
+				if e.To <= graph.NodeID(u) {
+					continue
+				}
+				k := mkLinkKey(graph.NodeID(u), e.To)
+				if _, dup := seen[k]; dup {
+					continue // parallel links fault as one site
+				}
+				seen[k] = struct{}{}
+				if from, to, hit := interval(cfg.LinkDownRate, "link-down", int64(k.u), int64(k.v)); hit {
+					fs = append(fs, Fault{Kind: LinkDown, From: from, To: to, U: k.u, V: k.v})
+				}
+				if from, to, hit := interval(cfg.LinkSlowRate, "link-slow", int64(k.u), int64(k.v)); hit {
+					fs = append(fs, Fault{Kind: LinkSlow, From: from, To: to, U: k.u, V: k.v, Factor: factor})
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if from, to, hit := interval(cfg.CrashRate, "crash", int64(v), 0); hit {
+				fs = append(fs, Fault{Kind: NodeCrash, From: from, To: to, Node: graph.NodeID(v)})
+			}
+		}
+	}
+	p, err := FromFaults(fs...)
+	if err != nil {
+		return nil, err
+	}
+	p.dropRate = cfg.DropRate
+	p.dropSeed = xrand.Derive(cfg.Seed, "faults", "drop")
+	return p, nil
+}
+
+// MustNew is New for tests and examples that treat a bad config as a
+// programming error.
+func MustNew(cfg Config, g *graph.Graph) *Plan {
+	p, err := New(cfg, g)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

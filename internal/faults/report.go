@@ -1,0 +1,49 @@
+package faults
+
+import "fmt"
+
+// Report summarizes the recovery work a faulty simulation performed. Every
+// field is deterministic for a fixed (instance, schedule, plan): tests
+// compare reports byte-for-byte across runs and worker counts.
+type Report struct {
+	// Faults is the number of scripted faults in the plan (probabilistic
+	// drops are uncounted; they surface as Retries).
+	Faults int `json:"faults"`
+	// Retries counts re-dispatches after dropped moves.
+	Retries int64 `json:"retries"`
+	// WastedComm is the distance traveled by moves that were then lost
+	// (charged at the full hop distance; not part of Result.CommCost).
+	WastedComm int64 `json:"wasted_comm"`
+	// Reroutes counts delivered moves that took a longer path on the
+	// surviving subgraph than the healthy shortest path.
+	Reroutes int64 `json:"reroutes"`
+	// RerouteExtra is the total extra distance those reroutes paid.
+	RerouteExtra int64 `json:"reroute_extra"`
+	// BlockedWaits counts dispatches that waited out a partition (no
+	// surviving path) until a fault boundary restored connectivity.
+	BlockedWaits int64 `json:"blocked_waits"`
+	// DeferredMoves counts dispatches delayed because an endpoint node
+	// was crashed.
+	DeferredMoves int64 `json:"deferred_moves"`
+	// DeferredCommits counts transactions that committed later than their
+	// scheduled step.
+	DeferredCommits int64 `json:"deferred_commits"`
+	// DeferredSteps is the total commit delay in steps, summed over all
+	// deferred transactions.
+	DeferredSteps int64 `json:"deferred_steps"`
+	// BaselineMakespan is the schedule's fault-free makespan.
+	BaselineMakespan int64 `json:"baseline_makespan"`
+	// Makespan is the step of the last commit under faults.
+	Makespan int64 `json:"makespan"`
+	// Inflation is Makespan / BaselineMakespan (1.0 = no loss).
+	Inflation float64 `json:"inflation"`
+}
+
+// String renders the report for logs.
+func (r *Report) String() string {
+	if r == nil {
+		return "faults.Report(nil)"
+	}
+	return fmt.Sprintf("faults.Report(makespan %d/%d = %.3fx, %d retries, %d reroutes(+%d), %d blocked, %d deferred commits(+%d steps))",
+		r.Makespan, r.BaselineMakespan, r.Inflation, r.Retries, r.Reroutes, r.RerouteExtra, r.BlockedWaits, r.DeferredCommits, r.DeferredSteps)
+}

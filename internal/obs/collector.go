@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"dtmsched/internal/faults"
 	"dtmsched/internal/schedule"
 	"dtmsched/internal/sim"
 	"dtmsched/internal/tm"
@@ -129,6 +130,33 @@ func (c *Collector) DepGraphBuild(stats map[string]int64) {
 	if hmax, ok := stats["hmax"]; ok {
 		c.reg.Histogram("depgraph_hmax", nil).Observe(hmax)
 	}
+}
+
+// Fault records one faulty run's recovery summary (sim.RunFaulty's
+// report): per-kind recovery counters plus a makespan-inflation histogram
+// in integer percent (100 = no loss). Nil collector and nil report are
+// no-ops, both allocation-free.
+func (c *Collector) Fault(fr *faults.Report) {
+	if c == nil || fr == nil {
+		return
+	}
+	c.reg.Counter("fault_runs_total").Inc()
+	c.reg.Counter("fault_retries_total").Add(fr.Retries)
+	c.reg.Counter("fault_reroutes_total").Add(fr.Reroutes)
+	c.reg.Counter("fault_blocked_waits_total").Add(fr.BlockedWaits)
+	c.reg.Counter("fault_deferred_moves_total").Add(fr.DeferredMoves)
+	c.reg.Counter("fault_deferred_commits_total").Add(fr.DeferredCommits)
+	c.reg.Counter("fault_wasted_comm_total").Add(fr.WastedComm)
+	c.reg.Histogram("fault_inflation_pct", nil).Observe(int64(fr.Inflation*100 + 0.5))
+}
+
+// Retry counts one engine-level job retry (RunBatch's transient-failure
+// retry policy). Nil-safe and allocation-free on the nil path.
+func (c *Collector) Retry() {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("engine_retries_total").Inc()
 }
 
 // run returns (creating if needed) the trace for (job, name).

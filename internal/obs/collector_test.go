@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dtmsched/internal/faults"
 )
 
 func TestNilCollectorZeroAllocs(t *testing.T) {
@@ -13,11 +15,14 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 	in, s := lineInstance()
 	err := errors.New("boom")
 	stats := map[string]int64{"depgraph_build_ns": 1, "depgraph_builds": 1}
+	fr := &faults.Report{Retries: 3, Inflation: 1.5}
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Stage(0, "job", "verify", time.Millisecond, nil)
 		c.Stage(0, "job", "verify", time.Millisecond, err)
 		c.RecordRun(0, "job", "alg", in, s, nil)
 		c.DepGraphBuild(stats)
+		c.Fault(fr)
+		c.Retry()
 		if c.Tracing() {
 			t.Fatal("nil collector must not trace")
 		}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"testing"
+
+	"dtmsched/internal/faults"
+)
+
+func TestCollectorFaultMetrics(t *testing.T) {
+	c := NewMetricsCollector()
+	c.Fault(&faults.Report{Retries: 2, Reroutes: 1, DeferredCommits: 3, WastedComm: 7, Inflation: 1.25})
+	c.Fault(&faults.Report{Inflation: 1.0})
+	c.Fault(nil) // ignored
+	c.Retry()
+	c.Retry()
+	reg := c.Registry()
+	for name, want := range map[string]int64{
+		"fault_runs_total":             2,
+		"fault_retries_total":          2,
+		"fault_reroutes_total":         1,
+		"fault_deferred_commits_total": 3,
+		"fault_wasted_comm_total":      7,
+		"engine_retries_total":         2,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	h := reg.Histogram("fault_inflation_pct", nil)
+	if got := h.Count(); got != 2 {
+		t.Errorf("fault_inflation_pct count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtmsched/internal/faults"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+	"dtmsched/internal/xrand"
+)
+
+// twoNodeInstance: one transaction at node 1 requesting the object homed at
+// node 0, one unit link between them.
+func twoNodeInstance() *tm.Instance {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	return tm.NewInstance(g, nil, 1, []tm.Txn{
+		{Node: 1, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+}
+
+// ringInstance: a 4-cycle with one transaction at node 1 requesting the
+// object homed at node 0; the direct link can be cut to force the 3-hop
+// detour.
+func ringInstance() *tm.Instance {
+	g := graph.New(4)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 2)
+	g.AddUnitEdge(2, 3)
+	g.AddUnitEdge(3, 0)
+	return tm.NewInstance(g, nil, 1, []tm.Txn{
+		{Node: 1, Objects: []tm.ObjectID{0}},
+	}, []graph.NodeID{0})
+}
+
+func TestRunFaultyNilInjectorMatchesRun(t *testing.T) {
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	want, err := Run(in, s, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, inj := range map[string]faults.Injector{
+		"nil":          nil,
+		"empty-plan":   faults.MustFromFaults(),
+		"nil-plan":     (*faults.Plan)(nil),
+		"zero-compose": faults.Compose(nil, faults.MustFromFaults()),
+	} {
+		got, fr, err := RunFaulty(in, s, FaultyOptions{Options: Options{Trace: true}, Inject: inj})
+		if err != nil {
+			t.Fatalf("%s: RunFaulty: %v", name, err)
+		}
+		if fr != nil {
+			t.Errorf("%s: empty injector produced a report: %v", name, fr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: RunFaulty result differs from Run:\n%+v\nvs\n%+v", name, got, want)
+		}
+	}
+}
+
+func TestRunFaultyHarmlessScriptMatchesRun(t *testing.T) {
+	// A scripted injector whose faults never intersect the execution must
+	// be event-identical to Run — same trace, same counters — with an
+	// all-zero recovery report.
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	want := MustRun(in, s, Options{Trace: true})
+	inj := faults.MustFromFaults(
+		faults.Fault{Kind: faults.LinkDown, From: 100, To: 110, U: 2, V: 3},
+		faults.Fault{Kind: faults.NodeCrash, From: 50, To: 60, Node: 2},
+		faults.Fault{Kind: faults.MoveDrop, Object: 0, Seq: 9}, // object 0 never dispatches 10 times
+	)
+	got, fr, err := RunFaulty(in, s, FaultyOptions{Options: Options{Trace: true}, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Errorf("events differ:\n%v\nvs\n%v", got.Events, want.Events)
+	}
+	if got.Makespan != want.Makespan || got.CommCost != want.CommCost || got.Moves != want.Moves {
+		t.Errorf("counters differ: %+v vs %+v", got, want)
+	}
+	if fr == nil {
+		t.Fatal("non-empty injector must produce a report")
+	}
+	if fr.Retries != 0 || fr.Reroutes != 0 || fr.DeferredCommits != 0 || fr.BlockedWaits != 0 || fr.DeferredMoves != 0 {
+		t.Errorf("harmless plan recorded recovery work: %v", fr)
+	}
+	if fr.Inflation != 1.0 || fr.Makespan != want.Makespan || fr.BaselineMakespan != want.Makespan {
+		t.Errorf("harmless plan inflated the makespan: %v", fr)
+	}
+}
+
+func TestRunFaultyScriptedDropBacksOff(t *testing.T) {
+	// Drop obj1's dispatch from txn2 toward txn1 (its second attempt).
+	// The re-dispatch departs one backoff step later, so txn1's commit
+	// slips from 3 to 4.
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.MoveDrop, Object: 1, Seq: 1})
+	res, fr, err := RunFaulty(in, s, FaultyOptions{Options: Options{Trace: true}, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 || res.Executed != 3 {
+		t.Fatalf("makespan = %d, executed = %d; want 4, 3", res.Makespan, res.Executed)
+	}
+	if fr.Retries != 1 || fr.WastedComm != 2 || fr.DeferredCommits != 1 || fr.DeferredSteps != 1 {
+		t.Fatalf("report = %v; want 1 retry, 2 wasted, 1 deferred commit by 1 step", fr)
+	}
+	if fr.Inflation != 4.0/3.0 {
+		t.Fatalf("inflation = %v, want 4/3", fr.Inflation)
+	}
+	// CommCost counts only delivered moves: 1 (obj0) + 2 (obj1 retry).
+	if res.CommCost != 3 {
+		t.Fatalf("CommCost = %d, want 3 (wasted distance excluded)", res.CommCost)
+	}
+	var drops, defers int
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case EventDrop:
+			drops++
+			if ev.Object != 1 || ev.Step != 1 {
+				t.Errorf("unexpected drop event %v", ev)
+			}
+		case EventDefer:
+			defers++
+		}
+	}
+	if drops != 1 || defers != 1 {
+		t.Errorf("trace has %d drops, %d defers; want 1, 1", drops, defers)
+	}
+}
+
+func TestRunFaultyCrashDefersCommit(t *testing.T) {
+	// Node 1 is down over [2, 6): txn1 (scheduled at 3) commits at the
+	// restart.
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.NodeCrash, From: 2, To: 6, Node: 1})
+	res, fr, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 6 {
+		t.Fatalf("makespan = %d, want 6 (deferred to restart)", res.Makespan)
+	}
+	if fr.DeferredCommits != 1 || fr.DeferredSteps != 3 {
+		t.Fatalf("report = %v; want 1 deferred commit by 3 steps", fr)
+	}
+	if fr.Inflation != 2.0 {
+		t.Fatalf("inflation = %v, want 2.0", fr.Inflation)
+	}
+}
+
+func TestRunFaultyLinkDownReroutes(t *testing.T) {
+	// Cutting the direct 0–1 link forces the object around the ring:
+	// distance 3 instead of 1, commit at 3.
+	in := ringInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.LinkDown, From: 0, To: 5, U: 0, V: 1})
+	res, fr, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 || res.CommCost != 3 {
+		t.Fatalf("makespan = %d, commcost = %d; want 3, 3", res.Makespan, res.CommCost)
+	}
+	if fr.Reroutes != 1 || fr.RerouteExtra != 2 {
+		t.Fatalf("report = %v; want 1 reroute with 2 extra steps", fr)
+	}
+}
+
+func TestRunFaultyLinkSlowStretchesHop(t *testing.T) {
+	// Slowing the only link by 4× makes the 1-step hop take 4 steps.
+	in := twoNodeInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.LinkSlow, From: 0, To: 10, U: 0, V: 1, Factor: 4})
+	res, fr, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 {
+		t.Fatalf("makespan = %d, want 4", res.Makespan)
+	}
+	if fr.Reroutes != 1 || fr.RerouteExtra != 3 {
+		t.Fatalf("report = %v; want the slowed hop accounted as 3 extra steps", fr)
+	}
+}
+
+func TestRunFaultyPartitionWaitsForBoundary(t *testing.T) {
+	// The only link is down over [0, 5): the dispatch waits out the
+	// partition and delivers at 6.
+	in := twoNodeInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.LinkDown, From: 0, To: 5, U: 0, V: 1})
+	res, fr, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 6 {
+		t.Fatalf("makespan = %d, want 6 (departs at the boundary)", res.Makespan)
+	}
+	if fr.BlockedWaits != 1 {
+		t.Fatalf("report = %v; want 1 blocked wait", fr)
+	}
+}
+
+func TestRunFaultyPermanentPartitionErrors(t *testing.T) {
+	in := twoNodeInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.LinkDown, From: 0, To: faults.Forever, U: 0, V: 1})
+	_, _, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err == nil || !strings.Contains(err.Error(), "permanently partitioned") {
+		t.Fatalf("err = %v, want permanent-partition error", err)
+	}
+}
+
+func TestRunFaultyPermanentCrashErrors(t *testing.T) {
+	in := twoNodeInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustFromFaults(faults.Fault{Kind: faults.NodeCrash, From: 0, To: faults.Forever, Node: 1})
+	_, _, err := RunFaulty(in, s, FaultyOptions{Inject: inj})
+	if err == nil || !strings.Contains(err.Error(), "never restarts") {
+		t.Fatalf("err = %v, want permanent-crash error", err)
+	}
+}
+
+func TestRunFaultyRetryBudget(t *testing.T) {
+	// A drop rate of 1 loses every dispatch; the bounded retry policy
+	// must abort instead of spinning.
+	in := twoNodeInstance()
+	s := &schedule.Schedule{Times: []int64{1}}
+	inj := faults.MustNew(faults.Config{Seed: 1, DropRate: 1}, in.G)
+	_, _, err := RunFaulty(in, s, FaultyOptions{Inject: inj, MaxRetries: 4})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want retry-budget error", err)
+	}
+}
+
+// TestRunRejectsOutOfRangeObject and TestRunRejectsDuplicateObject cover
+// the hardened input validation: hand-built instances that bypass
+// tm.NewInstance used to hit the simulator's dense object state as an
+// index panic.
+func TestRunRejectsOutOfRangeObject(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	in := &tm.Instance{G: g, Metric: g, NumObjects: 1,
+		Txns: []tm.Txn{{ID: 0, Node: 1, Objects: []tm.ObjectID{5}}},
+		Home: []graph.NodeID{0}}
+	s := &schedule.Schedule{Times: []int64{1}}
+	if _, err := Run(in, s, Options{}); err == nil || !strings.Contains(err.Error(), "outside [0,1)") {
+		t.Fatalf("err = %v, want out-of-range object error", err)
+	}
+}
+
+func TestRunRejectsDuplicateObject(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	in := &tm.Instance{G: g, Metric: g, NumObjects: 2,
+		Txns: []tm.Txn{{ID: 0, Node: 1, Objects: []tm.ObjectID{0, 0}}},
+		Home: []graph.NodeID{0, 0}}
+	s := &schedule.Schedule{Times: []int64{1}}
+	if _, err := Run(in, s, Options{}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v, want duplicate-object error", err)
+	}
+	in.Txns[0].Objects = []tm.ObjectID{1, 0}
+	if _, err := Run(in, s, Options{}); err == nil || !strings.Contains(err.Error(), "unsorted") {
+		t.Fatalf("err = %v, want unsorted-objects error", err)
+	}
+}
+
+func TestRunFaultyEmptyPlanZeroAlloc(t *testing.T) {
+	// The fault machinery must cost nothing when unused: RunFaulty with a
+	// nil or empty injector allocates exactly what Run allocates.
+	in := tinyInstance()
+	s := &schedule.Schedule{Times: []int64{1, 3, 1}}
+	in.PrecomputeDist(1) // steady-state distance oracle for both paths
+	MustRun(in, s, Options{})
+	empty := faults.MustFromFaults()
+	base := testing.AllocsPerRun(200, func() { MustRun(in, s, Options{}) })
+	for name, inj := range map[string]faults.Injector{"nil": nil, "empty": empty} {
+		got := testing.AllocsPerRun(200, func() { MustRunFaulty(in, s, FaultyOptions{Inject: inj}) })
+		if got > base {
+			t.Errorf("%s injector: RunFaulty allocates %.1f/op vs Run's %.1f/op; the empty path must add zero", name, got, base)
+		}
+	}
+}
+
+// serialSchedule builds the trivially feasible schedule that commits
+// transaction i at step (i+1)·n: every hop of every object fits in the n
+// steps between consecutive commits on a unit-weight graph of n nodes.
+func serialSchedule(in *tm.Instance) *schedule.Schedule {
+	n := int64(in.G.NumNodes())
+	s := schedule.New(in.NumTxns())
+	for i := range s.Times {
+		s.Times[i] = int64(i+1) * n
+	}
+	return s
+}
+
+func TestFaultMatrixSmoke(t *testing.T) {
+	// The CI fault matrix: 3 rates × 2 topologies. Every combination must
+	// recover (all transactions commit), keep inflation ≥ 1, and be fully
+	// deterministic — two runs of the same plan produce byte-identical
+	// reports. ci.sh runs this under -race.
+	topos := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid-6", topology.NewSquareGrid(6).Graph()},
+		{"clique-16", topology.NewClique(16).Graph()},
+	}
+	rates := []float64{0.02, 0.05, 0.10}
+	for _, tp := range topos {
+		for _, rate := range rates {
+			t.Run(fmt.Sprintf("%s/rate=%g", tp.name, rate), func(t *testing.T) {
+				rng := xrand.NewDerived(99, "faultmatrix", tp.name, fmt.Sprint(rate))
+				in := tm.UniformK(8, 2).Generate(rng, tp.g, nil, tp.g.Nodes(), tm.PlaceAtRandomUser)
+				s := serialSchedule(in)
+				if err := s.Validate(in); err != nil {
+					t.Fatalf("serial schedule infeasible: %v", err)
+				}
+				plan := faults.MustNew(faults.Config{
+					Seed: 7, Horizon: s.Makespan(),
+					LinkDownRate: rate, LinkSlowRate: rate, CrashRate: rate / 2, DropRate: rate / 2,
+				}, tp.g)
+				run := func() (*Result, *faults.Report) {
+					res, fr, err := RunFaulty(in, s, FaultyOptions{Options: Options{Trace: true}, Inject: plan})
+					if err != nil {
+						t.Fatalf("RunFaulty: %v", err)
+					}
+					return res, fr
+				}
+				resA, frA := run()
+				resB, frB := run()
+				if resA.Executed != in.NumTxns() {
+					t.Fatalf("executed %d of %d transactions", resA.Executed, in.NumTxns())
+				}
+				if frA != nil && frA.Inflation < 1.0 {
+					t.Fatalf("inflation %v < 1", frA.Inflation)
+				}
+				ja, _ := json.Marshal(frA)
+				jb, _ := json.Marshal(frB)
+				if string(ja) != string(jb) {
+					t.Fatalf("fault report is nondeterministic:\n%s\nvs\n%s", ja, jb)
+				}
+				if !reflect.DeepEqual(resA.Events, resB.Events) {
+					t.Fatal("event trace is nondeterministic")
+				}
+			})
+		}
+	}
+}

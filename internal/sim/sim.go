@@ -30,6 +30,12 @@ const (
 	EventArrive
 	// EventExecute: a transaction executes and commits.
 	EventExecute
+	// EventDrop: a dispatched object is lost in transit and will be
+	// re-dispatched after backoff (RunFaulty only).
+	EventDrop
+	// EventDefer: a transaction commits later than its scheduled step
+	// because of faults (RunFaulty only).
+	EventDefer
 )
 
 // Event is one trace record.
@@ -54,6 +60,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%d obj%d arrives at %d (for txn %d)", e.Step, e.Object, e.To, e.Txn)
 	case EventExecute:
 		return fmt.Sprintf("t=%d txn %d executes at node %d", e.Step, e.Txn, e.Node)
+	case EventDrop:
+		return fmt.Sprintf("t=%d obj%d dropped in transit %d→%d (for txn %d)", e.Step, e.Object, e.From, e.To, e.Txn)
+	case EventDefer:
+		return fmt.Sprintf("t=%d txn %d commits deferred at node %d", e.Step, e.Txn, e.Node)
 	default:
 		return fmt.Sprintf("t=%d unknown event kind %d", e.Step, int(e.Kind))
 	}
@@ -97,13 +107,8 @@ type Options struct {
 // returns an error describing the first violation for infeasible
 // schedules.
 func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
-	if len(s.Times) != in.NumTxns() {
-		return nil, fmt.Errorf("sim: schedule has %d times for %d transactions", len(s.Times), in.NumTxns())
-	}
-	for i, t := range s.Times {
-		if t < 1 {
-			return nil, fmt.Errorf("sim: transaction %d scheduled at step %d < 1", i, t)
-		}
+	if err := checkInput(in, s); err != nil {
+		return nil, err
 	}
 	horizon := s.Makespan()
 	if opt.MaxSteps > 0 && horizon > opt.MaxSteps {
@@ -214,6 +219,42 @@ func Run(in *tm.Instance, s *schedule.Schedule, opt Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// checkInput validates the (instance, schedule) pair before simulation:
+// schedule shape (one time ≥ 1 per transaction) and per-transaction object
+// lists (every requested object in [0, NumObjects), no duplicates). The
+// object checks guard the simulator's dense per-object state against
+// hand-built instances that bypassed tm.NewInstance — an out-of-range or
+// duplicated request previously hit the object-state index as a panic.
+// Allocation-free: RunFaulty's empty-plan path must add nothing over Run.
+func checkInput(in *tm.Instance, s *schedule.Schedule) error {
+	if len(s.Times) != in.NumTxns() {
+		return fmt.Errorf("sim: schedule has %d times for %d transactions", len(s.Times), in.NumTxns())
+	}
+	for i, t := range s.Times {
+		if t < 1 {
+			return fmt.Errorf("sim: transaction %d scheduled at step %d < 1", i, t)
+		}
+	}
+	for i := range in.Txns {
+		objs := in.Txns[i].Objects
+		for j, o := range objs {
+			if o < 0 || int(o) >= in.NumObjects {
+				return fmt.Errorf("sim: transaction %d requests object %d outside [0,%d)", i, o, in.NumObjects)
+			}
+			// Instance object lists are sorted strictly increasing
+			// (tm.NewInstance enforces it); any duplicate shows up either
+			// as an adjacent equal pair or as an inversion.
+			if j > 0 && objs[j-1] == o {
+				return fmt.Errorf("sim: transaction %d requests object %d twice", i, o)
+			}
+			if j > 0 && objs[j-1] > o {
+				return fmt.Errorf("sim: transaction %d has unsorted objects (%d before %d); duplicates cannot be ruled out", i, objs[j-1], o)
+			}
+		}
+	}
+	return nil
 }
 
 // MustRun is Run for tests and examples that treat infeasibility as a

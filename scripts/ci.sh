@@ -47,6 +47,15 @@ echo "== conflict-graph layer guards =="
 go test ./internal/depgraph -run 'TestWarmCSRQueriesZeroAlloc|TestBuildDeterministicAcrossWorkers' -count=1
 go test . -run '^$' -bench 'BenchmarkDepGraphBuild' -benchtime 1x -count=1 >/dev/null
 
+echo "== fault layer guards =="
+# RunFaulty with a nil/empty plan must stay on Run's allocation budget
+# (the fault machinery is free when unused), fault plans must be
+# seed-deterministic, and the 3-rate × 2-topology fault matrix must
+# recover deterministically under the race detector.
+go test ./internal/sim -run 'TestRunFaultyEmptyPlanZeroAlloc' -count=1
+go test -race ./internal/faults -run 'TestPlanSeedDeterminism' -count=1
+go test -race ./internal/sim -run 'TestFaultMatrixSmoke' -count=1
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
