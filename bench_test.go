@@ -234,6 +234,35 @@ func BenchmarkLowerBound(b *testing.B) {
 	}
 }
 
+// BenchmarkLowerCompute compares the certified-bound cost tiers on one
+// instance: the serial witness computation, the worker-pooled variant,
+// and a warm oracle hit (the steady state of batch sweeps, where jobs
+// sharing an instance pay a pointer load).
+func BenchmarkLowerCompute(b *testing.B) {
+	in := cliqueInstance(256, 64, 2)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lower.ComputeOpts(in, lower.Options{Witness: true})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lower.ComputeOpts(in, lower.Options{Workers: 4, Witness: true})
+		}
+	})
+	b.Run("oracle-warm", func(b *testing.B) {
+		o := lower.NewOracle(lower.Options{Witness: true})
+		o.Get(in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Get(in)
+		}
+	})
+}
+
 func BenchmarkBaselineList(b *testing.B) {
 	in := cliqueInstance(512, 128, 2)
 	b.ReportAllocs()

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dtmsched/internal/experiments"
+	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/stats"
 )
@@ -66,6 +67,9 @@ type jsonPipeline struct {
 	StageMS         map[string]float64 `json:"stage_ms,omitempty"`
 	DepGraphBuildMS float64            `json:"depgraph_build_ms,omitempty"`
 	DepGraphBuilds  int64              `json:"depgraph_builds,omitempty"`
+	LowerMS         float64            `json:"lower_ms,omitempty"`
+	LowerComputes   int64              `json:"lower_computations,omitempty"`
+	LowerCacheHits  int64              `json:"lower_cache_hits,omitempty"`
 	SimSteps        int64              `json:"sim_steps"`
 	ObjectMoves     int64              `json:"object_moves"`
 	Executed        int64              `json:"txns_executed"`
@@ -126,6 +130,11 @@ func pipelineDelta(prev, cur map[string]int64) jsonPipeline {
 		p.DepGraphBuildMS = float64(ns) / 1e6
 		p.DepGraphBuilds = d("depgraph_builds_total")
 	}
+	if n := d("lower_computations_total"); n != 0 {
+		p.LowerMS = float64(d("lower_compute_ns_total")) / 1e6
+		p.LowerComputes = n
+	}
+	p.LowerCacheHits = d("lower_cache_hits_total")
 	return p
 }
 
@@ -159,6 +168,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		lowerw   = flag.Int("lowerworkers", 0, "workers per certified lower-bound computation (0/1 = serial); bounds are identical at every count")
 		precomp  = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		buildb   = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
@@ -182,6 +192,7 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Trials = *trials
 	cfg.Workers = *parallel
+	cfg.LowerWorkers = *lowerw
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -264,6 +275,11 @@ func main() {
 	prevCounters := counterMap(col.Registry().Snapshot())
 	for _, e := range selected {
 		start := time.Now()
+		// One bound oracle per experiment: every engine job and direct
+		// bound query of the experiment shares it (k algorithms × t trials
+		// on one instance compute the bound once), while its instances
+		// stay collectable after the experiment ends.
+		cfg.LowerOracle = lower.NewOracle(lower.Options{Workers: cfg.LowerWorkers, Witness: true})
 		res, err := e.Run(cfg)
 		if err != nil {
 			if ctx.Err() != nil {

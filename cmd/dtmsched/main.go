@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	dtm "dtmsched"
 	"dtmsched/internal/analysis"
@@ -321,7 +322,7 @@ func runLoaded(path, alg string, analyze, trace bool, seed int64) error {
 	if err != nil {
 		return err
 	}
-	lb := lower.Compute(in)
+	lb := lower.ComputeOpts(in, lower.Options{Workers: runtime.GOMAXPROCS(0)})
 	ratio := 0.0
 	if lb.Value > 0 {
 		ratio = float64(res.Makespan) / float64(lb.Value)

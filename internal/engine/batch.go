@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 )
 
@@ -53,6 +54,16 @@ type Options struct {
 	// Retry re-runs failed attempts per RetryPolicy. Each retry is
 	// counted on the collector (engine_retries_total).
 	Retry RetryPolicy
+	// LowerOracle serves every job's Measure-stage certified bound from
+	// a shared per-instance cache (jobs with their own Job.LowerOracle
+	// keep it). Nil gets a fresh oracle scoped to this batch, so sweeps
+	// running k algorithms × t trials against one instance compute its
+	// bound once; the batch scope keeps retired instances collectable.
+	LowerOracle *lower.Oracle
+	// LowerWorkers is the worker count for bound computations the batch
+	// oracle performs on a miss (≤ 1 = serial). Only consulted when
+	// LowerOracle is nil.
+	LowerWorkers int
 }
 
 // JobResult pairs one job with its outcome. Err is nil on success. On
@@ -135,6 +146,10 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	oracle := opt.LowerOracle
+	if oracle == nil {
+		oracle = lower.NewOracle(lower.Options{Workers: opt.LowerWorkers, Witness: true})
+	}
 	results := make([]JobResult, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -151,11 +166,15 @@ func RunBatch(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error)
 					results[i] = JobResult{Index: i, Name: jobs[i].Name, Err: err}
 					continue // drain remaining jobs as cancelled
 				}
-				col := jobs[i].Collector
+				job := jobs[i]
+				col := job.Collector
 				if col == nil {
 					col = opt.Collector
 				}
-				results[i] = runJob(ctx, i, jobs[i], combineHooks(jobs[i].Hook, opt.Hook), col, opt)
+				if job.LowerOracle == nil {
+					job.LowerOracle = oracle
+				}
+				results[i] = runJob(ctx, i, job, combineHooks(job.Hook, opt.Hook), col, opt)
 			}
 		}()
 	}

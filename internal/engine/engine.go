@@ -142,6 +142,13 @@ type Job struct {
 	// SkipLowerBound omits the certified lower-bound computation in the
 	// Measure stage (Report.Bound stays zero, Ratio 0).
 	SkipLowerBound bool
+	// LowerOracle, when set, serves the Measure stage's certified bound
+	// from a per-instance cache, so jobs sharing an Instance compute it
+	// once. RunBatch jobs without their own oracle inherit the batch
+	// oracle (see Options.LowerOracle); plain Run computes directly when
+	// nil. Cache hits are visible on the collector's lower_* counters —
+	// never on the Report, which stays byte-identical either way.
+	LowerOracle *lower.Oracle
 	// Faults, when set to a non-empty injector, replays the schedule
 	// under fault injection in the Verify stage: sim.RunFaulty
 	// re-dispatches dropped moves with backoff, reroutes around dead
@@ -380,10 +387,18 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 	}
 	t0 = time.Now()
 	if !job.SkipLowerBound {
-		rep.Bound = lower.Compute(in)
+		var hit bool
+		if job.LowerOracle != nil {
+			var b *lower.Bound
+			b, hit = job.LowerOracle.Get(in)
+			rep.Bound = *b
+		} else {
+			rep.Bound = lower.Compute(in)
+		}
 		if rep.Bound.Value > 0 {
 			rep.Ratio = float64(rep.Makespan) / float64(rep.Bound.Value)
 		}
+		col.LowerBound(hit, time.Since(t0), &rep.Bound)
 	}
 	rep.Timing.Measure = time.Since(t0)
 	emit(StageMeasure, rep.Timing.Measure, nil, nil)

@@ -5,7 +5,6 @@ import (
 
 	"dtmsched/internal/congestion"
 	"dtmsched/internal/core"
-	"dtmsched/internal/lower"
 	"dtmsched/internal/online"
 	"dtmsched/internal/replica"
 	"dtmsched/internal/stats"
@@ -57,7 +56,7 @@ func runE12(cfg Config) (*Result, error) {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := cfg.Seed + int64(trial)
 			in := su.mk(seed)
-			lb := lower.Compute(in)
+			lb := cfg.bound(in)
 			offRes, err := (&core.Greedy{}).Schedule(in)
 			if err != nil {
 				return nil, err

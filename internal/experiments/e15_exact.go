@@ -5,7 +5,6 @@ import (
 
 	"dtmsched/internal/core"
 	"dtmsched/internal/exact"
-	"dtmsched/internal/lower"
 	"dtmsched/internal/stats"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
@@ -66,7 +65,7 @@ func runE15(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			lb := lower.Compute(in)
+			lb := cfg.bound(in)
 			if lb.Value > opt.Makespan {
 				lbSound = false
 			}

@@ -7,7 +7,6 @@ import (
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
 	"dtmsched/internal/engine"
-	"dtmsched/internal/lower"
 	"dtmsched/internal/stats"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
@@ -56,7 +55,7 @@ func runLB(cfg Config, id, title, ref string, build func(s int) tm.Blocked) (*Re
 		if err := li.Validate(); err != nil {
 			return nil, fmt.Errorf("%s: invalid instance: %w", id, err)
 		}
-		lb := lower.Compute(li.Instance)
+		lb := cfg.bound(li.Instance)
 		cap10 := int64(10 * s * s)
 		if lb.MaxWalkUB > cap10 {
 			walkOK = false

@@ -73,6 +73,26 @@ type Config struct {
 	// Empty keeps the experiment's default ladder; a 0 entry is the
 	// fault-free baseline column.
 	FaultRates []float64
+	// LowerWorkers is the worker count for certified-bound computations
+	// (≤ 1 = serial). Purely a performance knob: bounds are byte-identical
+	// at every worker count.
+	LowerWorkers int
+	// LowerOracle, when set, caches certified bounds per instance across
+	// everything this config runs — engine sweeps and the experiments'
+	// direct bound queries alike. Nil scopes a fresh oracle to each
+	// engine batch instead (direct queries then compute uncached).
+	LowerOracle *lower.Oracle
+}
+
+// bound returns the certified lower bound for in, through the shared
+// oracle when one is configured, else a direct witness-free computation
+// (the experiments' own queries only read the scalar fields).
+func (c Config) bound(in *tm.Instance) lower.Bound {
+	if c.LowerOracle != nil {
+		b, _ := c.LowerOracle.Get(in)
+		return *b
+	}
+	return lower.ComputeOpts(in, lower.Options{Workers: c.LowerWorkers})
 }
 
 // prepare applies the precompute policy to a freshly built instance. It
@@ -209,7 +229,7 @@ func cellFromReport(r *engine.Report) cell {
 // the instance lower bound. Any infeasibility is a hard error: the
 // experiments never report unverified schedules.
 func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Scheduler: sched, Collector: cfg.Collector})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Scheduler: sched, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
 	}
@@ -218,7 +238,7 @@ func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
 
 // runSchedule is runCell for a precomputed schedule.
 func runSchedule(cfg Config, in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Schedule: s, Algorithm: name, Collector: cfg.Collector})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Schedule: s, Algorithm: name, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -266,7 +286,12 @@ func (s *sweep) run() ([][]cell, error) {
 	if s.open > 0 {
 		s.endCell()
 	}
-	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{Workers: s.cfg.Workers, Collector: s.cfg.Collector})
+	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{
+		Workers:      s.cfg.Workers,
+		Collector:    s.cfg.Collector,
+		LowerOracle:  s.cfg.LowerOracle,
+		LowerWorkers: s.cfg.LowerWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -13,9 +13,22 @@
 // Because these are true lower bounds on the optimum, measured ratios
 // (makespan / bound) can only overstate an algorithm's distance from
 // optimal, never understate it.
+//
+// The bound depends only on the instance, so the package provides three
+// cost tiers: Compute (serial, full witnesses — the original API),
+// ComputeOpts (worker-pooled per-object solves with a canonical-site-set
+// memo and an optional witness-free fast path), and Oracle (per-instance
+// one-shot publication so repeated queries for the same instance cost a
+// pointer load). All three produce byte-identical Bound values for a
+// given instance at every worker count.
 package lower
 
 import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
 	"dtmsched/internal/graph"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
@@ -55,15 +68,69 @@ type Bound struct {
 	MaxWalkLB, MaxWalkUB int64
 	// MaxTourLB / MaxTourUB bracket the longest optimal object TSP tour.
 	MaxTourLB, MaxTourUB int64
+	// ExactObjects counts requested objects whose walk was solved
+	// exactly (≤ tsp.ExactLimit requesters); BoundedObjects counts those
+	// that got MST/heuristic bounds instead.
+	ExactObjects, BoundedObjects int
 	// PerObject has one entry per object that is requested at all.
+	// Empty when the bound was computed witness-free (Options.Witness
+	// false); the scalar fields above are always populated.
 	PerObject []ObjectDetail
 }
 
-// Compute derives the certified bound for an instance. Cost is dominated
-// by one shortest-walk computation per object (exact up to tsp.ExactLimit
-// requesters, MST bounds beyond).
+// Options controls how ComputeOpts runs. The zero value reproduces the
+// historical Compute behavior minus witnesses.
+type Options struct {
+	// Workers is the number of goroutines solving per-object TSP work;
+	// values ≤ 1 solve serially. The resulting Bound is byte-identical
+	// at every worker count.
+	Workers int
+	// Witness populates Bound.PerObject. Callers that only need the
+	// scalar bound (engines computing ratios) leave it false and skip
+	// the per-object allocation.
+	Witness bool
+}
+
+// Compute derives the certified bound for an instance with full
+// witnesses, serially. Equivalent to ComputeOpts(in, Options{Witness:
+// true}); kept as the stable original API.
 func Compute(in *tm.Instance) Bound {
-	b := Bound{}
+	return ComputeOpts(in, Options{Witness: true})
+}
+
+// solveItem is one unit of TSP work: a home-rooted walk or a closed tour
+// over a site list. Objects with identical canonical site sets share one
+// item (the exact Held–Karp result depends only on the set), so
+// clique/star sweeps where many objects see the same requester sites
+// solve each distinct set once.
+type solveItem struct {
+	walk  bool
+	home  graph.NodeID
+	sites []graph.NodeID
+	res   tsp.Bounds
+}
+
+// objRef ties a requested object to its walk and tour items.
+type objRef struct {
+	obj          tm.ObjectID
+	users        int
+	walkI, tourI int
+}
+
+// ComputeOpts derives the certified bound for an instance. Per-object
+// walk/tour solves fan over opt.Workers goroutines (each with its own
+// reusable tsp.Solver) and merge deterministically in object order, so
+// the result is byte-identical to the serial computation at every worker
+// count.
+func ComputeOpts(in *tm.Instance, opt Options) Bound {
+	var (
+		items    []solveItem
+		refs     []objRef
+		walkMemo = make(map[string]int)
+		tourMemo = make(map[string]int)
+		keyBuf   []byte
+		canon    []graph.NodeID
+	)
 	for o := 0; o < in.NumObjects; o++ {
 		oid := tm.ObjectID(o)
 		users := in.Users(oid)
@@ -74,13 +141,100 @@ func Compute(in *tm.Instance) Bound {
 		for i, id := range users {
 			sites[i] = in.Txns[id].Node
 		}
-		d := ObjectDetail{
-			Object: oid,
-			Users:  len(users),
-			Walk:   tsp.Walk(in.Metric, in.Home[oid], sites),
-			Tour:   tsp.Tour(in.Metric, sites),
+		home := in.Home[oid]
+
+		// Canonical sorted site set. Exact solves (unique count ≤
+		// tsp.ExactLimit) depend only on the set, so they memoize; the
+		// heuristic path beyond the limit is order-dependent and must
+		// see the original sequence to keep bounds byte-identical.
+		canon = append(canon[:0], sites...)
+		sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+		uniq := canon[:0]
+		for i, v := range canon {
+			if i > 0 && v == canon[i-1] {
+				continue
+			}
+			uniq = append(uniq, v)
 		}
-		b.PerObject = append(b.PerObject, d)
+
+		// Walk: home is removed by the solver, so the canonical walk
+		// set excludes it.
+		walkUniq := 0
+		for _, v := range uniq {
+			if v != home {
+				walkUniq++
+			}
+		}
+		walkI := -1
+		if walkUniq <= tsp.ExactLimit {
+			keyBuf = keyBuf[:0]
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, uint64(home))
+			for _, v := range uniq {
+				if v != home {
+					keyBuf = binary.LittleEndian.AppendUint64(keyBuf, uint64(v))
+				}
+			}
+			if i, ok := walkMemo[string(keyBuf)]; ok {
+				walkI = i
+			} else {
+				set := make([]graph.NodeID, 0, walkUniq)
+				for _, v := range uniq {
+					if v != home {
+						set = append(set, v)
+					}
+				}
+				walkI = len(items)
+				items = append(items, solveItem{walk: true, home: home, sites: set})
+				walkMemo[string(keyBuf)] = walkI
+			}
+		} else {
+			walkI = len(items)
+			items = append(items, solveItem{walk: true, home: home, sites: sites})
+		}
+
+		// Tour: no fixed root; the canonical set is the whole site set.
+		tourI := -1
+		if len(uniq) <= tsp.ExactLimit {
+			keyBuf = keyBuf[:0]
+			for _, v := range uniq {
+				keyBuf = binary.LittleEndian.AppendUint64(keyBuf, uint64(v))
+			}
+			if i, ok := tourMemo[string(keyBuf)]; ok {
+				tourI = i
+			} else {
+				tourI = len(items)
+				items = append(items, solveItem{sites: append([]graph.NodeID(nil), uniq...)})
+				tourMemo[string(keyBuf)] = tourI
+			}
+		} else {
+			tourI = len(items)
+			items = append(items, solveItem{sites: sites})
+		}
+
+		refs = append(refs, objRef{obj: oid, users: len(users), walkI: walkI, tourI: tourI})
+	}
+
+	solveAll(in.Metric, items, opt.Workers)
+
+	b := Bound{}
+	if opt.Witness {
+		b.PerObject = make([]ObjectDetail, 0, len(refs))
+	}
+	for _, r := range refs {
+		d := ObjectDetail{
+			Object: r.obj,
+			Users:  r.users,
+			Walk:   items[r.walkI].res,
+			Tour:   items[r.tourI].res,
+		}
+		if opt.Witness {
+			b.PerObject = append(b.PerObject, d)
+		}
+		if d.Walk.Exact {
+			b.ExactObjects++
+		} else {
+			b.BoundedObjects++
+		}
 		if d.Users > b.MaxUse {
 			b.MaxUse = d.Users
 		}
@@ -106,17 +260,68 @@ func Compute(in *tm.Instance) Bound {
 	return b
 }
 
+// solveAll fills every item's res, fanning over workers goroutines (each
+// with a private reusable solver) when workers > 1. Item results are
+// independent of scheduling, so any interleaving yields the same Bound.
+func solveAll(m graph.Metric, items []solveItem, workers int) {
+	if workers <= 1 || len(items) < 2 {
+		s := tsp.NewSolver()
+		for i := range items {
+			it := &items[i]
+			if it.walk {
+				it.res = s.Walk(m, it.home, it.sites)
+			} else {
+				it.res = s.Tour(m, it.sites)
+			}
+		}
+		return
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tsp.NewSolver()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := &items[i]
+				if it.walk {
+					it.res = s.Walk(m, it.home, it.sites)
+				} else {
+					it.res = s.Tour(m, it.sites)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ClusterSigma returns σ: the maximum, over objects, of the number of
 // distinct clusters containing a requester of the object (Section 6).
+// Distinct clusters are counted with one epoch-stamped slice reused
+// across objects instead of a per-object map.
 func ClusterSigma(in *tm.Instance, c *topology.ClusterGraph) int {
 	sigma := 0
+	stamp := make([]int, c.Alpha())
 	for o := 0; o < in.NumObjects; o++ {
-		clusters := make(map[int]struct{})
+		epoch := o + 1
+		count := 0
 		for _, id := range in.Users(tm.ObjectID(o)) {
-			clusters[c.ClusterOf(in.Txns[id].Node)] = struct{}{}
+			cl := c.ClusterOf(in.Txns[id].Node)
+			if stamp[cl] != epoch {
+				stamp[cl] = epoch
+				count++
+			}
 		}
-		if len(clusters) > sigma {
-			sigma = len(clusters)
+		if count > sigma {
+			sigma = count
 		}
 	}
 	return sigma
@@ -135,7 +340,8 @@ func ClusterLB(in *tm.Instance, c *topology.ClusterGraph) int64 {
 
 // StarSigma returns, for segment set index i of the star decomposition,
 // the maximum number of distinct ray segments of V_i that any object must
-// visit (the paper's σ_i).
+// visit (the paper's σ_i). Distinct rays are counted with one
+// epoch-stamped slice reused across objects instead of a per-object map.
 func StarSigma(in *tm.Instance, s *topology.Star, segIndex int) int {
 	segs := s.Segments(segIndex)
 	if len(segs) == 0 {
@@ -143,16 +349,19 @@ func StarSigma(in *tm.Instance, s *topology.Star, segIndex int) int {
 	}
 	lo, hi := segs[0].Lo, segs[0].Hi
 	sigma := 0
+	stamp := make([]int, s.Alpha())
 	for o := 0; o < in.NumObjects; o++ {
-		rays := make(map[int]struct{})
+		epoch := o + 1
+		count := 0
 		for _, id := range in.Users(tm.ObjectID(o)) {
 			ray, pos := s.RayOf(in.Txns[id].Node)
-			if ray >= 0 && pos >= lo && pos <= hi {
-				rays[ray] = struct{}{}
+			if ray >= 0 && pos >= lo && pos <= hi && stamp[ray] != epoch {
+				stamp[ray] = epoch
+				count++
 			}
 		}
-		if len(rays) > sigma {
-			sigma = len(rays)
+		if count > sigma {
+			sigma = count
 		}
 	}
 	return sigma

@@ -1,0 +1,216 @@
+package lower
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+)
+
+// zooInstances builds one instance per topology family, covering both
+// graph-backed and closed-form metrics plus the > tsp.ExactLimit
+// heuristic path (the single-object workload funnels every transaction
+// onto one object).
+func zooInstances(t testing.TB) []*tm.Instance {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	var out []*tm.Instance
+	build := func(g *graph.Graph, m graph.Metric, w, k int) {
+		in := tm.UniformK(w, k).Generate(r, g, m, g.Nodes(), tm.PlaceAtRandomUser)
+		out = append(out, in)
+	}
+	build(topology.NewClique(24).Graph(), nil, 6, 2)
+	build(topology.NewLine(30).Graph(), nil, 8, 2)
+	build(topology.NewSquareGrid(5).Graph(), nil, 6, 3)
+	c := topology.NewCluster(3, 4, 9)
+	build(c.Graph(), graph.FuncMetric(c.Dist), 4, 2)
+	s := topology.NewStar(4, 5)
+	build(s.Graph(), graph.FuncMetric(s.Dist), 5, 2)
+	// One object requested by every transaction: 40 sites exceed
+	// tsp.ExactLimit, exercising the order-sensitive MST/heuristic path.
+	big := topology.NewSquareGrid(7).Graph()
+	out = append(out, tm.UniformK(1, 1).Generate(r, big, nil, big.Nodes(), tm.PlaceAtRandomUser))
+	return out
+}
+
+// TestComputeOptsMatchesCompute pins the refactored path to the original
+// serial API: same witnesses, same scalars, on every topology family.
+func TestComputeOptsMatchesCompute(t *testing.T) {
+	for i, in := range zooInstances(t) {
+		want := Compute(in)
+		got := ComputeOpts(in, Options{Workers: 4, Witness: true})
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("instance %d: parallel ComputeOpts diverged\n want %+v\n  got %+v", i, want, got)
+		}
+	}
+}
+
+// TestComputeOptsWorkerDeterminism: the Bound must be byte-identical at
+// every worker count (1, 2, 8), witnesses included.
+func TestComputeOptsWorkerDeterminism(t *testing.T) {
+	for i, in := range zooInstances(t) {
+		base := ComputeOpts(in, Options{Workers: 1, Witness: true})
+		for _, workers := range []int{2, 8} {
+			got := ComputeOpts(in, Options{Workers: workers, Witness: true})
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("instance %d: workers=%d diverged from serial\n want %+v\n  got %+v",
+					i, workers, base, got)
+			}
+		}
+	}
+}
+
+// TestComputeOptsWitnessFree: the fast path must skip PerObject but keep
+// every scalar field identical.
+func TestComputeOptsWitnessFree(t *testing.T) {
+	for i, in := range zooInstances(t) {
+		full := ComputeOpts(in, Options{Witness: true})
+		fast := ComputeOpts(in, Options{})
+		if fast.PerObject != nil {
+			t.Errorf("instance %d: witness-free bound has PerObject", i)
+		}
+		full.PerObject = nil
+		if !reflect.DeepEqual(full, fast) {
+			t.Errorf("instance %d: witness-free scalars diverged\n want %+v\n  got %+v", i, full, fast)
+		}
+	}
+}
+
+// TestOracleConcurrentFirstQuery races many first queries for the same
+// instance (run under -race in ci): every caller must observe the same
+// bound, and every query must be accounted as either a computation or a
+// cache hit.
+func TestOracleConcurrentFirstQuery(t *testing.T) {
+	for _, in := range zooInstances(t) {
+		o := NewOracle(Options{Witness: true})
+		want := Compute(in)
+		const goroutines = 8
+		bounds := make([]*Bound, goroutines)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				defer done.Done()
+				start.Wait()
+				b, _ := o.Get(in)
+				bounds[g] = b
+			}(g)
+		}
+		start.Done()
+		done.Wait()
+		for g, b := range bounds {
+			if b == nil {
+				t.Fatalf("goroutine %d got nil bound", g)
+			}
+			if !reflect.DeepEqual(*b, want) {
+				t.Fatalf("goroutine %d bound diverged: %+v", g, *b)
+			}
+		}
+		comps, hits := o.Stats()
+		if comps < 1 {
+			t.Fatalf("no computation recorded (computations=%d hits=%d)", comps, hits)
+		}
+		if comps+hits != goroutines {
+			t.Fatalf("stats don't account for all queries: computations=%d hits=%d want sum %d",
+				comps, hits, goroutines)
+		}
+	}
+}
+
+// TestOracleWarmLookupZeroAllocs: after publication, Get must be a
+// pointer load — no allocation, matching the distance-oracle guard.
+func TestOracleWarmLookupZeroAllocs(t *testing.T) {
+	in := zooInstances(t)[0]
+	o := NewOracle(Options{Witness: true})
+	first, hit := o.Get(in)
+	if hit {
+		t.Fatal("first query reported as cache hit")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		b, hit := o.Get(in)
+		if !hit || b != first {
+			t.Fatal("warm lookup missed the published bound")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm oracle lookup allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// mapClusterSigma is the original map-per-object implementation, kept as
+// the reference the epoch-stamped version is pinned against.
+func mapClusterSigma(in *tm.Instance, c *topology.ClusterGraph) int {
+	sigma := 0
+	for o := 0; o < in.NumObjects; o++ {
+		clusters := make(map[int]struct{})
+		for _, id := range in.Users(tm.ObjectID(o)) {
+			clusters[c.ClusterOf(in.Txns[id].Node)] = struct{}{}
+		}
+		if len(clusters) > sigma {
+			sigma = len(clusters)
+		}
+	}
+	return sigma
+}
+
+// mapStarSigma is the original map-per-object StarSigma reference.
+func mapStarSigma(in *tm.Instance, s *topology.Star, segIndex int) int {
+	segs := s.Segments(segIndex)
+	if len(segs) == 0 {
+		return 0
+	}
+	lo, hi := segs[0].Lo, segs[0].Hi
+	sigma := 0
+	for o := 0; o < in.NumObjects; o++ {
+		rays := make(map[int]struct{})
+		for _, id := range in.Users(tm.ObjectID(o)) {
+			ray, pos := s.RayOf(in.Txns[id].Node)
+			if ray >= 0 && pos >= lo && pos <= hi {
+				rays[ray] = struct{}{}
+			}
+		}
+		if len(rays) > sigma {
+			sigma = len(rays)
+		}
+	}
+	return sigma
+}
+
+// TestClusterSigmaMatchesMapReference pins the stamped counter to the map
+// version across random cluster workloads.
+func TestClusterSigmaMatchesMapReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := topology.NewCluster(2+r.Intn(4), 2+r.Intn(4), 5)
+		g := c.Graph()
+		w := 2 + r.Intn(4)
+		in := tm.UniformK(w, 1+r.Intn(2)).Generate(
+			r, g, graph.FuncMetric(c.Dist), g.Nodes(), tm.PlaceAtRandomUser)
+		if got, want := ClusterSigma(in, c), mapClusterSigma(in, c); got != want {
+			t.Fatalf("trial %d: ClusterSigma = %d, map reference = %d", trial, got, want)
+		}
+	}
+}
+
+// TestStarSigmaMatchesMapReference pins the stamped counter to the map
+// version across random star workloads and every segment index.
+func TestStarSigmaMatchesMapReference(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		s := topology.NewStar(2+r.Intn(4), 2+r.Intn(5))
+		g := s.Graph()
+		w := 2 + r.Intn(4)
+		in := tm.UniformK(w, 1+r.Intn(2)).Generate(
+			r, g, graph.FuncMetric(s.Dist), g.Nodes(), tm.PlaceAtRandomUser)
+		for seg := 1; seg <= s.NumSegments(); seg++ {
+			if got, want := StarSigma(in, s, seg), mapStarSigma(in, s, seg); got != want {
+				t.Fatalf("trial %d seg %d: StarSigma = %d, map reference = %d", trial, seg, got, want)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dtmsched/internal/faults"
+	"dtmsched/internal/lower"
 	"dtmsched/internal/schedule"
 	"dtmsched/internal/sim"
 	"dtmsched/internal/tm"
@@ -130,6 +131,29 @@ func (c *Collector) DepGraphBuild(stats map[string]int64) {
 	if hmax, ok := stats["hmax"]; ok {
 		c.reg.Histogram("depgraph_hmax", nil).Observe(hmax)
 	}
+}
+
+// LowerBound records one Measure-stage certified-bound query: cache hits
+// versus fresh computations as counters, plus compute wall time and the
+// bound's exact-vs-MST per-object split as histograms (computations
+// only — a hit re-observes nothing, so distributions count each distinct
+// bound once per computation). Nil collector and nil bound are no-ops,
+// both allocation-free.
+func (c *Collector) LowerBound(hit bool, wall time.Duration, b *lower.Bound) {
+	if c == nil || b == nil {
+		return
+	}
+	if hit {
+		c.reg.Counter("lower_cache_hits_total").Inc()
+		return
+	}
+	c.reg.Counter("lower_computations_total").Inc()
+	c.reg.Counter("lower_compute_ns_total").Add(wall.Nanoseconds())
+	c.reg.Counter("lower_exact_objects_total").Add(int64(b.ExactObjects))
+	c.reg.Counter("lower_bounded_objects_total").Add(int64(b.BoundedObjects))
+	c.reg.Histogram("lower_compute_us", nil).Observe(wall.Microseconds())
+	c.reg.Histogram("lower_exact_objects", nil).Observe(int64(b.ExactObjects))
+	c.reg.Histogram("lower_mst_objects", nil).Observe(int64(b.BoundedObjects))
 }
 
 // Fault records one faulty run's recovery summary (sim.RunFaulty's

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dtmsched/internal/faults"
+	"dtmsched/internal/lower"
 )
 
 func TestNilCollectorZeroAllocs(t *testing.T) {
@@ -16,12 +17,15 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 	err := errors.New("boom")
 	stats := map[string]int64{"depgraph_build_ns": 1, "depgraph_builds": 1}
 	fr := &faults.Report{Retries: 3, Inflation: 1.5}
+	lb := &lower.Bound{Value: 4, ExactObjects: 2}
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Stage(0, "job", "verify", time.Millisecond, nil)
 		c.Stage(0, "job", "verify", time.Millisecond, err)
 		c.RecordRun(0, "job", "alg", in, s, nil)
 		c.DepGraphBuild(stats)
 		c.Fault(fr)
+		c.LowerBound(false, time.Millisecond, lb)
+		c.LowerBound(true, 0, lb)
 		c.Retry()
 		if c.Tracing() {
 			t.Fatal("nil collector must not trace")

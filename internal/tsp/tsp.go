@@ -9,10 +9,17 @@
 // sets are solved exactly with Held–Karp dynamic programming; larger sets
 // get certified bounds: MST weight ≤ optimal walk ≤ optimal tour ≤ 2·MST,
 // with a nearest-neighbor + 2-opt heuristic tightening the upper side.
+//
+// The Held–Karp tables are the hot allocation of the whole measurement
+// path (2^q·q int64 cells per solve — 8 MiB at q = 16), so the exact
+// solver lives on a reusable Solver: one per worker amortizes the tables
+// across every object of an instance. The package-level Walk and Tour
+// remain as convenience wrappers over a throwaway Solver.
 package tsp
 
 import (
 	"math"
+	"math/bits"
 
 	"dtmsched/internal/graph"
 )
@@ -30,11 +37,29 @@ type Bounds struct {
 	Exact bool
 }
 
+// Solver computes Walk and Tour bounds with reusable scratch: the DP
+// table, the flat pairwise-distance matrix, and an epoch-stamped dedupe
+// buffer all persist across calls, so solving many site sets (one per
+// object of an instance) allocates only on high-water-mark growth. A
+// Solver is not safe for concurrent use; parallel callers keep one per
+// worker. The zero value is ready to use.
+type Solver struct {
+	dp    []int64        // Held–Karp table, 2^q·q cells
+	d     []int64        // flat pairwise distances, row-major
+	uniq  []graph.NodeID // dedupe output buffer
+	stamp []int64        // per-node visit stamps for O(q) dedupe
+	epoch int64
+}
+
+// NewSolver returns an empty solver; scratch grows on first use.
+func NewSolver() *Solver { return &Solver{} }
+
 // Walk bounds the shortest walk that starts at home and visits every node
 // in sites (an open Hamiltonian path on the metric completion, fixed
-// start). Duplicate sites and sites equal to home are harmless.
-func Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
-	sites = dedupe(sites, home)
+// start). Duplicate sites and sites equal to home are harmless. Results
+// are identical to the package-level Walk.
+func (s *Solver) Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
+	sites = s.dedupe(sites, home)
 	q := len(sites)
 	switch {
 	case q == 0:
@@ -43,7 +68,7 @@ func Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
 		d := m.Dist(home, sites[0])
 		return Bounds{LB: d, UB: d, Exact: true}
 	case q <= ExactLimit:
-		opt := heldKarpPath(m, home, sites)
+		opt := s.heldKarpPath(m, home, sites)
 		return Bounds{LB: opt, UB: opt, Exact: true}
 	}
 	all := append([]graph.NodeID{home}, sites...)
@@ -59,8 +84,9 @@ func Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
 
 // Tour bounds the optimal closed TSP tour through all sites (no fixed
 // start). The paper's Theorem 6 measures objects' TSP tour lengths.
-func Tour(m graph.Metric, sites []graph.NodeID) Bounds {
-	sites = dedupe(sites, -1)
+// Results are identical to the package-level Tour.
+func (s *Solver) Tour(m graph.Metric, sites []graph.NodeID) Bounds {
+	sites = s.dedupe(sites, -1)
 	q := len(sites)
 	switch {
 	case q <= 1:
@@ -69,7 +95,7 @@ func Tour(m graph.Metric, sites []graph.NodeID) Bounds {
 		d := 2 * m.Dist(sites[0], sites[1])
 		return Bounds{LB: d, UB: d, Exact: true}
 	case q <= ExactLimit:
-		opt := heldKarpTour(m, sites)
+		opt := s.heldKarpTour(m, sites)
 		return Bounds{LB: opt, UB: opt, Exact: true}
 	}
 	mst := MSTWeight(m, sites)
@@ -81,6 +107,20 @@ func Tour(m graph.Metric, sites []graph.NodeID) Bounds {
 		ub = double
 	}
 	return Bounds{LB: mst, UB: ub}
+}
+
+// Walk bounds the shortest home-rooted walk through sites with a
+// throwaway Solver. Callers solving many site sets should hold a Solver.
+func Walk(m graph.Metric, home graph.NodeID, sites []graph.NodeID) Bounds {
+	var s Solver
+	return s.Walk(m, home, sites)
+}
+
+// Tour bounds the optimal closed tour through sites with a throwaway
+// Solver. Callers solving many site sets should hold a Solver.
+func Tour(m graph.Metric, sites []graph.NodeID) Bounds {
+	var s Solver
+	return s.Tour(m, sites)
 }
 
 // MSTWeight returns the minimum spanning tree weight over sites under
@@ -118,42 +158,111 @@ func MSTWeight(m graph.Metric, sites []graph.NodeID) int64 {
 	return total
 }
 
+// dedupe removes duplicates (and, when skip ≥ 0, sites equal to skip)
+// preserving first-occurrence order, via per-node epoch stamps: O(q) with
+// no per-call map. The returned slice is the solver's buffer, valid until
+// the next call.
+func (s *Solver) dedupe(sites []graph.NodeID, skip graph.NodeID) []graph.NodeID {
+	s.epoch++
+	out := s.uniq[:0]
+	for _, v := range sites {
+		if v == skip {
+			continue
+		}
+		if int(v) >= len(s.stamp) {
+			grown := make([]int64, int(v)+1)
+			copy(grown, s.stamp)
+			s.stamp = grown
+		}
+		if s.stamp[v] == s.epoch {
+			continue
+		}
+		s.stamp[v] = s.epoch
+		out = append(out, v)
+	}
+	s.uniq = out
+	return out
+}
+
+// growI64 returns a length-n int64 buffer, reusing buf's storage when it
+// is large enough.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// fillPairwise populates the solver's flat distance matrix over nodes
+// (row-major, stride len(nodes)); nodes[0] is the walk home / tour start.
+func (s *Solver) fillPairwise(m graph.Metric, home graph.NodeID, sites []graph.NodeID) []int64 {
+	n := len(sites) + 1
+	d := growI64(s.d, n*n)
+	s.d = d
+	at := func(i int) graph.NodeID {
+		if i == 0 {
+			return home
+		}
+		return sites[i-1]
+	}
+	for i := 0; i < n; i++ {
+		row := d[i*n : (i+1)*n]
+		ni := at(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				row[j] = 0
+				continue
+			}
+			row[j] = m.Dist(ni, at(j))
+		}
+	}
+	return d
+}
+
 // heldKarpPath solves the fixed-start open path exactly:
 // dp[S][j] = cheapest walk from home visiting exactly set S, ending at j.
-func heldKarpPath(m graph.Metric, home graph.NodeID, sites []graph.NodeID) int64 {
+// The inner loops iterate only the set bits of S (ends) and of its
+// complement (extensions), so the work is Σ_S |S|·(q−|S|) = 2^q·q²/4
+// transitions instead of 2^q·q² index probes.
+func (s *Solver) heldKarpPath(m graph.Metric, home graph.NodeID, sites []graph.NodeID) int64 {
 	q := len(sites)
-	d := pairwise(m, append([]graph.NodeID{home}, sites...)) // index 0 = home
+	d := s.fillPairwise(m, home, sites) // index 0 = home, stride q+1
+	stride := q + 1
 	size := 1 << q
 	const inf = int64(math.MaxInt64) / 2
-	dp := make([]int64, size*q)
+	dp := growI64(s.dp, size*q)
+	s.dp = dp
 	for i := range dp {
 		dp[i] = inf
 	}
 	for j := 0; j < q; j++ {
-		dp[(1<<j)*q+j] = d[0][j+1]
+		dp[(1<<j)*q+j] = d[j+1] // d[home][j]
 	}
-	for s := 1; s < size; s++ {
-		base := s * q
-		for j := 0; j < q; j++ {
+	full := uint32(size - 1)
+	for set := 1; set < size; set++ {
+		base := set * q
+		rest := full &^ uint32(set)
+		if rest == 0 {
+			continue
+		}
+		for ends := uint32(set); ends != 0; ends &= ends - 1 {
+			j := int(bits.TrailingZeros32(ends))
 			cur := dp[base+j]
-			if cur >= inf || s&(1<<j) == 0 {
+			if cur >= inf {
 				continue
 			}
-			for nxt := 0; nxt < q; nxt++ {
-				if s&(1<<nxt) != 0 {
-					continue
-				}
-				ns := s | 1<<nxt
-				if c := cur + d[j+1][nxt+1]; c < dp[ns*q+nxt] {
-					dp[ns*q+nxt] = c
+			row := d[(j+1)*stride:]
+			for rem := rest; rem != 0; rem &= rem - 1 {
+				nxt := int(bits.TrailingZeros32(rem))
+				if c := cur + row[nxt+1]; c < dp[(set|1<<nxt)*q+nxt] {
+					dp[(set|1<<nxt)*q+nxt] = c
 				}
 			}
 		}
 	}
 	best := inf
-	full := size - 1
 	for j := 0; j < q; j++ {
-		if c := dp[full*q+j]; c < best {
+		if c := dp[(size-1)*q+j]; c < best {
 			best = c
 		}
 	}
@@ -161,41 +270,46 @@ func heldKarpPath(m graph.Metric, home graph.NodeID, sites []graph.NodeID) int64
 }
 
 // heldKarpTour solves the closed tour exactly by fixing sites[0] as the
-// start/end.
-func heldKarpTour(m graph.Metric, sites []graph.NodeID) int64 {
-	q := len(sites) - 1 // remaining sites after fixing sites[0]
-	d := pairwise(m, sites)
+// start/end; same bit-iterated transition structure as heldKarpPath.
+func (s *Solver) heldKarpTour(m graph.Metric, sites []graph.NodeID) int64 {
+	q := len(sites) - 1                         // remaining sites after fixing sites[0]
+	d := s.fillPairwise(m, sites[0], sites[1:]) // index 0 = start, stride q+1
+	stride := q + 1
 	size := 1 << q
 	const inf = int64(math.MaxInt64) / 2
-	dp := make([]int64, size*q)
+	dp := growI64(s.dp, size*q)
+	s.dp = dp
 	for i := range dp {
 		dp[i] = inf
 	}
 	for j := 0; j < q; j++ {
-		dp[(1<<j)*q+j] = d[0][j+1]
+		dp[(1<<j)*q+j] = d[j+1] // d[start][j]
 	}
-	for s := 1; s < size; s++ {
-		base := s * q
-		for j := 0; j < q; j++ {
+	full := uint32(size - 1)
+	for set := 1; set < size; set++ {
+		base := set * q
+		rest := full &^ uint32(set)
+		if rest == 0 {
+			continue
+		}
+		for ends := uint32(set); ends != 0; ends &= ends - 1 {
+			j := int(bits.TrailingZeros32(ends))
 			cur := dp[base+j]
-			if cur >= inf || s&(1<<j) == 0 {
+			if cur >= inf {
 				continue
 			}
-			for nxt := 0; nxt < q; nxt++ {
-				if s&(1<<nxt) != 0 {
-					continue
-				}
-				ns := s | 1<<nxt
-				if c := cur + d[j+1][nxt+1]; c < dp[ns*q+nxt] {
-					dp[ns*q+nxt] = c
+			row := d[(j+1)*stride:]
+			for rem := rest; rem != 0; rem &= rem - 1 {
+				nxt := int(bits.TrailingZeros32(rem))
+				if c := cur + row[nxt+1]; c < dp[(set|1<<nxt)*q+nxt] {
+					dp[(set|1<<nxt)*q+nxt] = c
 				}
 			}
 		}
 	}
 	best := inf
-	full := size - 1
 	for j := 0; j < q; j++ {
-		if c := dp[full*q+j] + d[j+1][0]; c < best {
+		if c := dp[(size-1)*q+j] + d[(j+1)*stride]; c < best {
 			best = c
 		}
 	}
@@ -273,21 +387,8 @@ func pathLen(m graph.Metric, home graph.NodeID, path []graph.NodeID) int64 {
 	return total
 }
 
-func pairwise(m graph.Metric, sites []graph.NodeID) [][]int64 {
-	q := len(sites)
-	d := make([][]int64, q)
-	for i := range d {
-		d[i] = make([]int64, q)
-		for j := range d[i] {
-			if i != j {
-				d[i][j] = m.Dist(sites[i], sites[j])
-			}
-		}
-	}
-	return d
-}
-
 // dedupe removes duplicates and (when skip ≥ 0) any site equal to skip.
+// Map-based; the Solver's stamp dedupe is the amortized equivalent.
 func dedupe(sites []graph.NodeID, skip graph.NodeID) []graph.NodeID {
 	seen := make(map[graph.NodeID]struct{}, len(sites))
 	out := make([]graph.NodeID, 0, len(sites))

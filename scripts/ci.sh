@@ -47,6 +47,17 @@ echo "== conflict-graph layer guards =="
 go test ./internal/depgraph -run 'TestWarmCSRQueriesZeroAlloc|TestBuildDeterministicAcrossWorkers' -count=1
 go test . -run '^$' -bench 'BenchmarkDepGraphBuild' -benchtime 1x -count=1 >/dev/null
 
+echo "== lower-bound oracle guards =="
+# Warm oracle lookups must stay zero-alloc (a published bound is a
+# pointer load), ComputeOpts must produce byte-identical bounds at every
+# worker count and match the serial Compute path, concurrent first
+# queries must race benignly under the race detector, and the cost-tier
+# benchmark must at least compile and run (1 iteration smoke — the
+# Measure-stage speedup is checked via BENCH_RESULTS.json).
+go test ./internal/lower -run 'TestOracleWarmLookupZeroAllocs|TestComputeOptsWorkerDeterminism|TestComputeOptsMatchesCompute' -count=1
+go test -race ./internal/lower -run 'TestOracleConcurrentFirstQuery' -count=1
+go test . -run '^$' -bench 'BenchmarkLowerCompute' -benchtime 1x -count=1 >/dev/null
+
 echo "== fault layer guards =="
 # RunFaulty with a nil/empty plan must stay on Run's allocation budget
 # (the fault machinery is free when unused), fault plans must be
