@@ -10,6 +10,7 @@
 //	         [-parallel N] [-timeout D] [-precompute auto|on|off]
 //	         [-faults RATE[,RATE…][,SEED]]
 //	         [-json FILE] [-trace FILE] [-metrics FILE] [-http ADDR]
+//	         [-ledger FILE] [-profile DIR]
 //
 // -faults runs the fault-injection sweep (E20, unless -only selects
 // more): fractional tokens are fault rates, an integer token reseeds the
@@ -20,6 +21,12 @@
 // trace-event file (open it in Perfetto or chrome://tracing) next to it;
 // -metrics writes the final metrics snapshot; -http serves
 // /debug/pprof/*, /debug/vars, and /metrics while the sweep runs.
+//
+// -ledger appends one schema-versioned run-ledger record per experiment
+// (JSONL); compare or gate accumulated ledgers with `dtmsched bench
+// compare OLD NEW` / `dtmsched bench gate OLD NEW`. -profile captures a
+// CPU profile per pipeline stage plus a heap snapshot at every stage
+// boundary into DIR (one file per stage crossing; forces -parallel 1).
 package main
 
 import (
@@ -34,16 +41,23 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"dtmsched/internal/engine"
 	"dtmsched/internal/experiments"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/stats"
 )
+
+// expvarName is the expvar namespace the metrics registry publishes
+// under (served at /debug/vars). It must match the binary, not its
+// sibling CLI — pinned by TestPublishPrefix.
+const expvarName = "dtmbench"
 
 // jsonCheck, jsonColumn, jsonExperiment, and jsonOutput define the schema
 // of the -json results file.
@@ -161,22 +175,24 @@ func columnSummaries(t *stats.Table) []jsonColumn {
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		trials   = flag.Int("trials", 3, "random instances per parameter cell")
-		seed     = flag.Int64("seed", 0, "root seed (0 = library default)")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		md       = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
-		csv      = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
-		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
-		lowerw   = flag.Int("lowerworkers", 0, "workers per certified lower-bound computation (0/1 = serial); bounds are identical at every count")
-		precomp  = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
-		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
-		buildb   = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
-		faultsIn = flag.String("faults", "", "fault-injection sweep: comma-separated fault rates in [0,1) plus an optional integer seed (selects E20 unless -only is set)")
-		jsonOut  = flag.String("json", "", "write machine-readable results to FILE")
-		traceOut = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
-		metrOut  = flag.String("metrics", "", "write the final metrics snapshot (JSON) to FILE")
-		httpAddr = flag.String("http", "", "serve /debug/pprof/*, /debug/vars, and /metrics on ADDR while running")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		trials    = flag.Int("trials", 3, "random instances per parameter cell")
+		seed      = flag.Int64("seed", 0, "root seed (0 = library default)")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		md        = flag.Bool("md", false, "emit Markdown headings (for EXPERIMENTS.md)")
+		csv       = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
+		parallel  = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		lowerw    = flag.Int("lowerworkers", 0, "workers per certified lower-bound computation (0/1 = serial); bounds are identical at every count")
+		precomp   = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		buildb    = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
+		faultsIn  = flag.String("faults", "", "fault-injection sweep: comma-separated fault rates in [0,1) plus an optional integer seed (selects E20 unless -only is set)")
+		jsonOut   = flag.String("json", "", "write machine-readable results to FILE")
+		traceOut  = flag.String("trace", "", "write a JSONL run trace to FILE (plus a Chrome trace next to it)")
+		metrOut   = flag.String("metrics", "", "write the final metrics snapshot (JSON) to FILE")
+		httpAddr  = flag.String("http", "", "serve /debug/pprof/*, /debug/vars, and /metrics (JSON; ?format=prom for Prometheus text) on ADDR while running")
+		ledgerOut = flag.String("ledger", "", "append one run-ledger record per experiment to FILE (JSONL; gate with `dtmsched bench compare/gate`)")
+		profDir   = flag.String("profile", "", "capture per-stage CPU profiles and stage-boundary heap snapshots into DIR (forces -parallel 1)")
 	)
 	flag.Parse()
 
@@ -232,14 +248,35 @@ func main() {
 		col = obs.NewCollectorConfig(obs.Config{Traces: true, MaxTraceRuns: maxTraceRuns})
 	}
 	cfg.Collector = col
+	var ledger *obs.Ledger
+	var ledgerFile *os.File
+	if *ledgerOut != "" {
+		f, err := os.OpenFile(*ledgerOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: -ledger: %v\n", err)
+			os.Exit(2)
+		}
+		ledgerFile = f
+		ledger = obs.NewLedger(f)
+	}
+	var prof *obs.Profiler
+	if *profDir != "" {
+		p, err := obs.NewProfiler(*profDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: -profile: %v\n", err)
+			os.Exit(2)
+		}
+		if cfg.Workers != 1 {
+			fmt.Fprintln(os.Stderr, "dtmbench: -profile forces -parallel 1 (per-stage CPU attribution needs serial execution)")
+			cfg.Workers = 1
+		}
+		cfg.Hook = engine.ProfilerHook(p)
+		p.Start()
+		prof = p
+	}
 	if *httpAddr != "" {
-		col.Registry().Publish("dtmsched")
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := col.WriteMetrics(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
+		col.Registry().Publish(expvarName)
+		http.HandleFunc("/metrics", col.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "dtmbench: http server: %v\n", err)
@@ -272,7 +309,8 @@ func main() {
 	out := jsonOutput{Quick: *quick, Trials: *trials, Seed: cfg.Seed, Workers: *parallel}
 	failures := 0
 	runStart := time.Now()
-	prevCounters := counterMap(col.Registry().Snapshot())
+	prevSnap := col.Registry().Snapshot()
+	prevCounters := counterMap(prevSnap)
 	for _, e := range selected {
 		start := time.Now()
 		// One bound oracle per experiment: every engine job and direct
@@ -299,13 +337,17 @@ func main() {
 		default:
 			fmt.Printf("=== %s — %s [%s] (%s)\n\n%s\n", res.ID, res.Title, res.Ref, rounded, res.Table)
 		}
-		curCounters := counterMap(col.Registry().Snapshot())
+		curSnap := col.Registry().Snapshot()
+		curCounters := counterMap(curSnap)
 		je := jsonExperiment{ID: res.ID, Title: res.Title, Ref: res.Ref,
 			WallMS:   float64(elapsed.Microseconds()) / 1000,
 			Pipeline: pipelineDelta(prevCounters, curCounters),
 			Header:   res.Table.Header(), Rows: res.Table.Rows(),
 			Summaries: columnSummaries(res.Table), Notes: res.Notes}
-		prevCounters = curCounters
+		if ledger != nil {
+			ledger.Append(ledgerRecord(res.ID, cfg, *quick, je, prevSnap, curSnap))
+		}
+		prevSnap, prevCounters = curSnap, curCounters
 		for _, c := range res.Checks {
 			mark := "PASS"
 			if !c.OK {
@@ -357,10 +399,76 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d experiments, %d checks)\n", *jsonOut, len(out.Experiments), out.ChecksRun)
 	}
+	if prof != nil {
+		if err := prof.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: profiler: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote per-stage profiles to %s\n", prof.Dir())
+	}
+	if ledger != nil {
+		if err := ledger.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: ledger: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ledgerFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: ledger: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended %d run-ledger records to %s\n", len(out.Experiments), *ledgerOut)
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dtmbench: %d shape checks failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// ledgerRecord builds the obs/v2 run-ledger record for one finished
+// experiment: identity from the sweep configuration (so reruns with the
+// same flags share a fingerprint), measurements from the counter deltas
+// already computed for -json, and the transaction-latency distribution
+// as the histogram delta between the surrounding registry snapshots.
+func ledgerRecord(id string, cfg experiments.Config, quick bool, je jsonExperiment, prevSnap, curSnap []obs.Sample) *obs.RunRecord {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := je.Pipeline
+	rec := &obs.RunRecord{
+		Experiment: id,
+		Config: map[string]string{
+			"quick":   strconv.FormatBool(quick),
+			"trials":  strconv.Itoa(cfg.Trials),
+			"seed":    strconv.FormatInt(cfg.Seed, 10),
+			"workers": strconv.Itoa(workers),
+		},
+		Seed:              cfg.Seed,
+		StageMS:           p.StageMS,
+		TotalMS:           je.WallMS,
+		SimSteps:          p.SimSteps,
+		ObjectMoves:       p.ObjectMoves,
+		Executed:          p.Executed,
+		LowerMS:           p.LowerMS,
+		LowerComputations: p.LowerComputes,
+		LowerCacheHits:    p.LowerCacheHits,
+	}
+	if lat := obs.HistDelta(histSample(curSnap, "txn_latency_steps"), histSample(prevSnap, "txn_latency_steps")); lat != nil && lat.Count > 0 {
+		rec.Latency = lat
+		rec.LatencyP50 = lat.Quantile(0.50)
+		rec.LatencyP99 = lat.Quantile(0.99)
+	}
+	return rec
+}
+
+// histSample finds a histogram sample by full name; a zero Sample when
+// the registry has not observed it yet.
+func histSample(samples []obs.Sample, name string) obs.Sample {
+	for _, s := range samples {
+		if s.Name == name && s.Kind == "histogram" {
+			return s
+		}
+	}
+	return obs.Sample{}
 }
 
 // parseFaultsSpec parses the -faults argument: fractional tokens in

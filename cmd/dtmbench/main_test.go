@@ -1,0 +1,72 @@
+package main
+
+import (
+	"expvar"
+	"testing"
+
+	"dtmsched/internal/experiments"
+	"dtmsched/internal/obs"
+)
+
+// TestPublishPrefix pins the expvar namespace: dtmbench must publish its
+// registry under its own name — an earlier version leaked its sibling
+// CLI's "dtmsched" prefix, making /debug/vars lie about which process
+// was being inspected.
+func TestPublishPrefix(t *testing.T) {
+	if expvarName != "dtmbench" {
+		t.Fatalf("expvarName = %q, want %q", expvarName, "dtmbench")
+	}
+	col := obs.NewMetricsCollector()
+	col.Registry().Counter("probe").Inc()
+	col.Registry().Publish(expvarName)
+	if expvar.Get("dtmbench") == nil {
+		t.Fatal("registry not published under the dtmbench namespace")
+	}
+	if expvar.Get("dtmsched") != nil {
+		t.Fatal("registry must not publish under the sibling CLI's dtmsched namespace")
+	}
+}
+
+// TestLedgerRecordFromPipeline covers the -ledger record builder: the
+// per-experiment pipeline delta and latency histogram delta land in the
+// record, and identical snapshots produce no latency.
+func TestLedgerRecordFromPipeline(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("txn_latency_steps", nil)
+	prev := r.Snapshot()
+	for _, v := range []int64{2, 4, 8} {
+		h.Observe(v)
+	}
+	cur := r.Snapshot()
+
+	je := jsonExperiment{
+		WallMS: 12.5,
+		Pipeline: jsonPipeline{
+			StageMS:  map[string]float64{"schedule": 1.5},
+			SimSteps: 40, ObjectMoves: 90, Executed: 3,
+			LowerMS: 2.5, LowerComputes: 2, LowerCacheHits: 4,
+		},
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Trials = 2
+	rec := ledgerRecord("E5", cfg, true, je, prev, cur)
+	if rec.Experiment != "E5" || rec.TotalMS != 12.5 || rec.SimSteps != 40 {
+		t.Errorf("record = %+v, want the pipeline delta copied over", rec)
+	}
+	if rec.Config["quick"] != "true" || rec.Config["workers"] == "0" || rec.Config["workers"] == "" {
+		t.Errorf("config = %v, want quick=true and a resolved worker count", rec.Config)
+	}
+	if rec.Latency == nil || rec.Latency.Count != 3 {
+		t.Fatalf("latency = %+v, want the 3-observation delta", rec.Latency)
+	}
+	// rank = floor(0.5*3) clamped to 1 → the first bucket's bound.
+	if rec.LatencyP50 != 2 {
+		t.Errorf("latency p50 = %d, want 2", rec.LatencyP50)
+	}
+
+	// No histogram movement between snapshots → no latency on the record.
+	rec = ledgerRecord("E5", cfg, true, je, cur, cur)
+	if rec.Latency != nil {
+		t.Errorf("identical snapshots produced latency %+v, want none", rec.Latency)
+	}
+}

@@ -18,6 +18,13 @@
 //
 //	dtmsched trace -topo grid -side 8 -w 16 -alg auto
 //	dtmsched trace -topo star -alpha 4 -beta 8 -out run.jsonl -chrome run.chrome.json
+//
+// The bench subcommand family records reproducible benchmark ledgers and
+// gates regressions between them (see bench.go):
+//
+//	dtmsched bench record -ledger base.jsonl
+//	dtmsched bench compare base.jsonl head.jsonl
+//	dtmsched bench gate base.jsonl head.jsonl   # exit 1 on regression
 package main
 
 import (
@@ -50,6 +57,9 @@ func main() {
 			fatalf("trace: %v", err)
 		}
 		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(runBenchCmd(os.Args[2:]))
 	}
 	var (
 		topo     = flag.String("topo", "clique", "topology: clique|line|grid|hypercube|butterfly|cluster|star|torus")

@@ -64,6 +64,10 @@ type Config struct {
 	// (depending on its configuration) run traces from every engine job
 	// the experiments execute. Nil costs nothing.
 	Collector *obs.Collector
+	// Hook, when set, observes every engine job's stage completions
+	// (dtmbench wires the obs/v2 profiler through it). Called from the
+	// engine workers; must be goroutine-safe. Nil costs nothing.
+	Hook engine.Hook
 	// Precompute selects the distance-matrix policy applied to every
 	// instance the experiments build (default PrecomputeAuto). Purely a
 	// performance knob: measured makespans, bounds, and ratios are
@@ -229,7 +233,7 @@ func cellFromReport(r *engine.Report) cell {
 // the instance lower bound. Any infeasibility is a hard error: the
 // experiments never report unverified schedules.
 func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Scheduler: sched, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Scheduler: sched, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle, Hook: cfg.Hook})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", sched.Name(), err)
 	}
@@ -238,7 +242,7 @@ func runCell(cfg Config, in *tm.Instance, sched core.Scheduler) (cell, error) {
 
 // runSchedule is runCell for a precomputed schedule.
 func runSchedule(cfg Config, in *tm.Instance, s *schedule.Schedule, name string) (cell, error) {
-	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Schedule: s, Algorithm: name, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle})
+	rep, err := engine.Run(cfg.context(), engine.Job{Instance: cfg.prepare(in), Schedule: s, Algorithm: name, Collector: cfg.Collector, LowerOracle: cfg.LowerOracle, Hook: cfg.Hook})
 	if err != nil {
 		return cell{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -289,6 +293,7 @@ func (s *sweep) run() ([][]cell, error) {
 	results, err := engine.RunBatch(s.cfg.context(), s.jobs, engine.Options{
 		Workers:      s.cfg.Workers,
 		Collector:    s.cfg.Collector,
+		Hook:         s.cfg.Hook,
 		LowerOracle:  s.cfg.LowerOracle,
 		LowerWorkers: s.cfg.LowerWorkers,
 	})

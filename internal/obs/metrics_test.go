@@ -153,3 +153,69 @@ func TestQuantiles(t *testing.T) {
 		t.Errorf("empty input p50 = %d, want 0", got[0])
 	}
 }
+
+// TestHistogramQuantileEdges pins the bucket-quantile semantics the
+// ledger and comparator rely on: quantiles return the upper bound of the
+// bucket containing the rank, single observations land on their bucket's
+// bound, overflow ranks return the observed maximum, and q=1.0 is the
+// max for all-overflow histograms.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+
+	t.Run("single observation", func(t *testing.T) {
+		h := r.Histogram("single", nil)
+		h.Observe(5)
+		for _, q := range []float64{0, 0.5, 1.0} {
+			if got := h.Quantile(q); got != 8 {
+				t.Errorf("Quantile(%g) = %d, want 8 (the 4<v<=8 bucket bound)", q, got)
+			}
+		}
+	})
+
+	t.Run("bucket boundaries", func(t *testing.T) {
+		h := r.Histogram("bounds", []int64{10, 20})
+		for _, v := range []int64{10, 10, 20, 20} {
+			h.Observe(v)
+		}
+		// Ranks 1–2 sit in the le=10 bucket, ranks 3–4 in le=20.
+		if got := h.Quantile(0.5); got != 10 {
+			t.Errorf("Quantile(0.5) = %d, want 10 (rank 2 is the last le=10 observation)", got)
+		}
+		if got := h.Quantile(0.75); got != 20 {
+			t.Errorf("Quantile(0.75) = %d, want 20 (rank 3 crosses the boundary)", got)
+		}
+		if got := h.Quantile(1.0); got != 20 {
+			t.Errorf("Quantile(1.0) = %d, want 20", got)
+		}
+	})
+
+	t.Run("all overflow", func(t *testing.T) {
+		h := r.Histogram("overflow", []int64{10})
+		h.Observe(500)
+		h.Observe(900)
+		for _, tc := range []struct {
+			q    float64
+			want int64
+		}{{0.5, 900}, {1.0, 900}} {
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%g) = %d, want observed max %d", tc.q, got, tc.want)
+			}
+		}
+	})
+
+	t.Run("q=1.0 returns observed max from overflow", func(t *testing.T) {
+		h := r.Histogram("mixed", []int64{10})
+		h.Observe(3)
+		h.Observe(70000)
+		if got := h.Quantile(1.0); got != 70000 {
+			t.Errorf("Quantile(1.0) = %d, want the observed max 70000", got)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		h := r.Histogram("empty", nil)
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("empty histogram Quantile = %d, want 0", got)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Per-stage profiling capture: a Profiler rides the engine's stage
+// hooks and rotates the process CPU profile at every stage boundary, so
+// each pipeline stage (generate, schedule, verify, measure) lands in its
+// own pprof file, with an optional heap snapshot taken at the same
+// boundaries. Files are written into one directory per profiler,
+// prefixed with a monotone sequence number so the stage order is
+// reconstructible from a directory listing.
+//
+// CPU profiling is a process-global resource, so a Profiler is meant
+// for serial runs (dtmbench forces one engine worker under -profile);
+// attribution across concurrent jobs would be meaningless anyway. All
+// methods are nil-safe no-ops, and errors are sticky — the first
+// failure (typically "cpu profiling already in use") is reported once
+// from Err/Close instead of spamming every boundary.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+)
+
+// ProfileConfig selects what a Profiler captures.
+type ProfileConfig struct {
+	// CPU rotates per-stage CPU profiles (cpu-*.pprof).
+	CPU bool
+	// Heap writes a heap snapshot at every stage boundary
+	// (heap-*.pprof).
+	Heap bool
+}
+
+// Profiler captures per-stage CPU profiles and stage-boundary heap
+// snapshots. Create with NewProfiler, attach via engine.ProfilerHook,
+// bracket the run with Start and Close.
+type Profiler struct {
+	mu     sync.Mutex
+	dir    string
+	cfg    ProfileConfig
+	seq    int
+	active *os.File // destination of the running CPU profile
+	err    error    // first failure, sticky
+}
+
+// activeName is the scratch file the running CPU profile streams into;
+// it is renamed to its stage-labeled name when the boundary arrives.
+const activeName = ".cpu-active.pprof"
+
+// NewProfiler creates dir (if needed) and returns a profiler capturing
+// both CPU and heap.
+func NewProfiler(dir string) (*Profiler, error) {
+	return NewProfilerConfig(dir, ProfileConfig{CPU: true, Heap: true})
+}
+
+// NewProfilerConfig is NewProfiler with explicit capture selection.
+func NewProfilerConfig(dir string, cfg ProfileConfig) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Profiler{dir: dir, cfg: cfg}, nil
+}
+
+// Start begins CPU capture for the upcoming stage. Call it once before
+// the first engine run; calling it while a capture is active is a no-op,
+// so a missed Start only loses the first stage's CPU profile (the first
+// boundary starts capture for the stages after it).
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.startCPULocked()
+}
+
+// StageBoundary records the completion of one pipeline stage: the
+// running CPU profile is stopped and renamed to the completed stage's
+// label, a heap snapshot is written, and the next capture begins. The
+// stage string is the engine's Stage name.
+func (p *Profiler) StageBoundary(job int, name, stage string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	label := fmt.Sprintf("%04d-job%03d-%s-%s", p.seq, job, sanitize(name), stage)
+	p.seq++
+	if p.active != nil {
+		pprof.StopCPUProfile()
+		if err := p.active.Close(); err != nil {
+			p.fail(err)
+		}
+		if err := os.Rename(p.active.Name(), filepath.Join(p.dir, "cpu-"+label+".pprof")); err != nil {
+			p.fail(err)
+		}
+		p.active = nil
+	}
+	if p.cfg.Heap {
+		p.writeHeapLocked(label)
+	}
+	p.startCPULocked()
+}
+
+// Close stops any running capture, discarding the unlabeled tail
+// profile, and returns the first error the profiler hit.
+func (p *Profiler) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active != nil {
+		pprof.StopCPUProfile()
+		p.active.Close()
+		os.Remove(p.active.Name())
+		p.active = nil
+	}
+	return p.err
+}
+
+// Err returns the first capture failure, if any.
+func (p *Profiler) Err() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Dir returns the capture directory.
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+// startCPULocked begins the next CPU capture into the scratch file.
+func (p *Profiler) startCPULocked() {
+	if !p.cfg.CPU || p.active != nil || p.err != nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(p.dir, activeName))
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		p.fail(fmt.Errorf("cpu profile: %w", err))
+		return
+	}
+	p.active = f
+}
+
+// writeHeapLocked snapshots the heap profile at a stage boundary.
+func (p *Profiler) writeHeapLocked(label string) {
+	f, err := os.Create(filepath.Join(p.dir, "heap-"+label+".pprof"))
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		p.fail(err)
+	}
+	if err := f.Close(); err != nil {
+		p.fail(err)
+	}
+}
+
+// fail records the first error.
+func (p *Profiler) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// sanitize maps a job name onto the filename-safe alphabet.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

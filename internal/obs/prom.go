@@ -1,0 +1,194 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry:
+// one `# TYPE` line per metric family, counter/gauge samples as-is,
+// histograms expanded into cumulative `le=`-labeled `_bucket` series
+// plus `_sum` and `_count`. The output is deterministic — families
+// sorted by name, series sorted by label set, buckets by bound — so the
+// same registry state always renders byte-identical text
+// (TestPromGolden pins it), and any standard Prometheus scraper can
+// consume `/metrics?format=prom`.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSeries is one sample split into family name and rendered labels.
+type promSeries struct {
+	labels string // prometheus-rendered label list without braces ("" when bare)
+	sample Sample
+}
+
+// promFamily groups the series of one metric name.
+type promFamily struct {
+	name   string
+	kind   string
+	series []promSeries
+}
+
+// splitKey parses a registry key "name{k1=v1,k2=v2}" into the family
+// name and the prometheus-rendered label list.
+func splitKey(key string) (name, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	name = key[:i]
+	inner := strings.TrimSuffix(key[i+1:], "}")
+	var sb strings.Builder
+	for n, pair := range strings.Split(inner, ",") {
+		k, v, _ := strings.Cut(pair, "=")
+		if n > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteByte('"')
+	}
+	return name, sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// families groups a snapshot into sorted metric families with sorted
+// series. Mixed kinds under one name keep the first kind and drop the
+// rest (the registry cannot produce this; defensive only).
+func families(samples []Sample) []promFamily {
+	byName := map[string]*promFamily{}
+	var order []string
+	for _, s := range samples {
+		name, labels := splitKey(s.Name)
+		f := byName[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: s.Kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		if f.kind != s.Kind {
+			continue
+		}
+		f.series = append(f.series, promSeries{labels: labels, sample: s})
+	}
+	sort.Strings(order)
+	out := make([]promFamily, 0, len(order))
+	for _, name := range order {
+		f := byName[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	return out
+}
+
+// WriteProm renders a snapshot as Prometheus text exposition.
+func WriteProm(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range families(samples) {
+		kind := f.kind
+		if kind == "" {
+			kind = "untyped"
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(kind)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case "histogram":
+				writeHistSeries(bw, f.name, s)
+			default:
+				writeLine(bw, f.name, s.labels, s.sample.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLine emits `name{labels} value`.
+func writeLine(bw *bufio.Writer, name, labels string, v int64) {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+// writeHistSeries expands one histogram sample: cumulative buckets with
+// `le` labels (the overflow bucket and the terminal line map to +Inf),
+// then _sum and _count.
+func writeHistSeries(bw *bufio.Writer, name string, s promSeries) {
+	var cum int64
+	infDone := false
+	for _, b := range s.sample.Buckets {
+		cum += b.N
+		le := "+Inf"
+		if b.LE >= 0 {
+			le = strconv.FormatInt(b.LE, 10)
+		} else {
+			infDone = true
+		}
+		writeBucket(bw, name, s.labels, le, cum)
+	}
+	if !infDone {
+		writeBucket(bw, name, s.labels, "+Inf", s.sample.Count)
+	}
+	writeLine(bw, name+"_sum", s.labels, s.sample.Sum)
+	writeLine(bw, name+"_count", s.labels, s.sample.Count)
+}
+
+func writeBucket(bw *bufio.Writer, name, labels, le string, cum int64) {
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{`)
+	if labels != "" {
+		bw.WriteString(labels)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString("\"} ")
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// WriteProm renders the registry's current state as Prometheus text
+// exposition. Nil registries render nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WriteProm(w, r.Snapshot())
+}
+
+// PromContentType is the Content-Type of Prometheus text format 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves the collector's metrics over HTTP: the JSON
+// snapshot by default (`?format=json` explicit), Prometheus text
+// exposition for `?format=prom`, and 400 for anything else — an unknown
+// format is a caller bug, not a reason to silently serve JSON.
+func (c *Collector) MetricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := c.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "prom":
+			w.Header().Set("Content-Type", PromContentType)
+			if err := c.Registry().WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format "+strconv.Quote(format)+" (want json or prom)", http.StatusBadRequest)
+		}
+	}
+}

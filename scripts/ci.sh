@@ -67,6 +67,18 @@ go test ./internal/sim -run 'TestRunFaultyEmptyPlanZeroAlloc' -count=1
 go test -race ./internal/faults -run 'TestPlanSeedDeterminism' -count=1
 go test -race ./internal/sim -run 'TestFaultMatrixSmoke' -count=1
 
+echo "== obs/v2 ledger + exposition guards =="
+# The Prometheus exposition must stay byte-deterministic (golden file),
+# registry updates must stay zero-alloc while a scrape is in flight, the
+# regression gate must flag a synthetic 2× slowdown and pass identical
+# ledgers (self-test at both the library and CLI layers), and nil
+# ledger/profiler hooks must keep the engine hot path allocation-free.
+go test ./internal/obs -run 'TestPromGolden|TestPromDeterministic|TestPromParseable|TestRegistryUpdateZeroAllocDuringScrape' -count=1
+go test ./internal/obs -run 'TestCompareGateSelfTest|TestMergeHistDeterminism|TestLedgerRoundTrip|TestNilLedgerProfilerZeroAllocs' -count=1
+go test ./internal/engine -run 'TestLedgerHook|TestProfilerHook' -count=1
+go test ./cmd/dtmsched -run 'TestBenchGate|TestBenchRecordSmoke' -count=1
+go test ./cmd/dtmbench -run 'TestPublishPrefix' -count=1
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
