@@ -61,6 +61,12 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(runBenchCmd(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServeCmd(os.Args[2:]); err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
 	var (
 		topo     = flag.String("topo", "clique", "topology: clique|line|grid|hypercube|butterfly|cluster|star|torus")
 		n        = flag.Int("n", 128, "nodes (clique/line), or per-topology default")
@@ -196,40 +202,13 @@ func runTraceCmd(args []string) error {
 		rootSeed = xrand.DefaultSeed
 	}
 
-	var topo topology.Topology
-	switch *topoName {
-	case "clique":
-		topo = topology.NewClique(*n)
-	case "line":
-		topo = topology.NewLine(*n)
-	case "grid":
-		topo = topology.NewSquareGrid(*side)
-	case "torus":
-		topo = topology.NewTorus(*side, *side)
-	case "hypercube":
-		topo = topology.NewHypercube(*dim)
-	case "butterfly":
-		topo = topology.NewButterfly(*dim)
-	case "cluster":
-		topo = topology.NewCluster(*alpha, *beta, *gamma)
-	case "star":
-		topo = topology.NewStar(*alpha, *beta)
-	default:
-		return fmt.Errorf("unknown topology %q", *topoName)
+	topo, err := buildTopology(*topoName, *n, *side, *dim, *alpha, *beta, *gamma)
+	if err != nil {
+		return err
 	}
-
-	var wl tm.Workload
-	switch *workload {
-	case "uniform":
-		wl = tm.UniformK(*w, *k)
-	case "zipf":
-		wl = tm.ZipfK(*w, *k)
-	case "hotspot":
-		wl = tm.HotspotK(*w, *k)
-	case "single":
-		wl = tm.SingleObject()
-	default:
-		return fmt.Errorf("unknown workload %q", *workload)
+	wl, err := buildWorkload(*workload, *w, *k)
+	if err != nil {
+		return err
 	}
 	g := topo.Graph()
 	in := wl.Generate(xrand.NewDerived(rootSeed, "trace", *topoName), g, graph.FuncMetric(topo.Dist), g.Nodes(), tm.PlaceAtRandomUser)
@@ -289,6 +268,47 @@ func runTraceCmd(args []string) error {
 		fmt.Printf("wrote %s\n", f.path)
 	}
 	return nil
+}
+
+// buildTopology resolves a topology name plus its size flags — the shared
+// constructor table of the trace and serve subcommands.
+func buildTopology(name string, n, side, dim, alpha, beta int, gamma int64) (topology.Topology, error) {
+	switch name {
+	case "clique":
+		return topology.NewClique(n), nil
+	case "line":
+		return topology.NewLine(n), nil
+	case "grid":
+		return topology.NewSquareGrid(side), nil
+	case "torus":
+		return topology.NewTorus(side, side), nil
+	case "hypercube":
+		return topology.NewHypercube(dim), nil
+	case "butterfly":
+		return topology.NewButterfly(dim), nil
+	case "cluster":
+		return topology.NewCluster(alpha, beta, gamma), nil
+	case "star":
+		return topology.NewStar(alpha, beta), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+// buildWorkload resolves a workload name for the internal tm layer.
+func buildWorkload(name string, w, k int) (tm.Workload, error) {
+	switch name {
+	case "uniform":
+		return tm.UniformK(w, k), nil
+	case "zipf":
+		return tm.ZipfK(w, k), nil
+	case "hotspot":
+		return tm.HotspotK(w, k), nil
+	case "single":
+		return tm.SingleObject(), nil
+	default:
+		return tm.Workload{}, fmt.Errorf("unknown workload %q", name)
+	}
 }
 
 // traceScheduler resolves the trace subcommand's algorithm: "auto" picks

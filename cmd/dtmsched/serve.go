@@ -1,0 +1,205 @@
+// The serve subcommand runs the streaming scheduler service: a seeded
+// load generator injects transactions continuously, the service admits
+// them into a bounded queue (block or reject backpressure), cuts rolling
+// scheduling windows over the mutable conflict index, and executes each
+// window through the engine while the next one fills. The run drains
+// deterministically: the same seed and flags reproduce the admission
+// order, window cuts, commit steps, and the summary digest bit-for-bit.
+//
+//	dtmsched serve -topo line -n 16 -rate 0.8 -txns 500 -policy reject
+//	dtmsched serve -topo grid -side 8 -w 32 -rate 0.5 -ledger serve.jsonl -prom metrics.prom
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dtmsched/internal/engine"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/obs"
+	"dtmsched/internal/stream"
+	"dtmsched/internal/xrand"
+)
+
+// runServeCmd implements `dtmsched serve`.
+func runServeCmd(args []string) error {
+	fs := flag.NewFlagSet("dtmsched serve", flag.ExitOnError)
+	var (
+		topoName = fs.String("topo", "clique", "topology: clique|line|grid|torus|hypercube|butterfly|cluster|star")
+		n        = fs.Int("n", 16, "nodes (clique/line)")
+		side     = fs.Int("side", 8, "grid/torus side length")
+		dim      = fs.Int("dim", 5, "hypercube/butterfly dimension")
+		alpha    = fs.Int("alpha", 4, "cluster/star: number of clusters/rays")
+		beta     = fs.Int("beta", 8, "cluster/star: nodes per cluster/ray")
+		gamma    = fs.Int64("gamma", 16, "cluster: bridge edge weight")
+		w        = fs.Int("w", 16, "number of shared objects")
+		k        = fs.Int("k", 2, "objects per transaction")
+		workload = fs.String("workload", "uniform", "workload: uniform|zipf|hotspot|single")
+		rate     = fs.Float64("rate", 0.5, "injection rate in transactions per logical step")
+		txns     = fs.Int("txns", 500, "total transactions to stream before draining")
+		window   = fs.Int("window", 0, "max transactions per scheduling window (0 = node count)")
+		queue    = fs.Int("queue", 0, "admission queue capacity (0 = 2×window)")
+		policy   = fs.String("policy", "block", "backpressure policy when the queue is full: block|reject")
+		verify   = fs.String("verify", "fast", "per-window verification: full|fast|off")
+		retries  = fs.Int("retries", 1, "engine attempts per window (≤ 1 = no retry)")
+		deadline = fs.Duration("deadline", 0, "per-window engine deadline (0 = none)")
+		pipeline = fs.Int("pipeline", 2, "windows that may queue for execution while later ones are cut")
+		seed     = fs.Int64("seed", 0, "root seed (0 = library default)")
+		ledger   = fs.String("ledger", "", "append one run record (stream counters + window latency) to FILE")
+		prom     = fs.String("prom", "", "write the final Prometheus text exposition to FILE")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rootSeed := *seed
+	if rootSeed == 0 {
+		rootSeed = xrand.DefaultSeed
+	}
+
+	topo, err := buildTopology(*topoName, *n, *side, *dim, *alpha, *beta, *gamma)
+	if err != nil {
+		return err
+	}
+	wl, err := buildWorkload(*workload, *w, *k)
+	if err != nil {
+		return err
+	}
+	pol, err := stream.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	vm, err := parseVerifyMode(*verify)
+	if err != nil {
+		return err
+	}
+
+	g := topo.Graph()
+	metric := graph.FuncMetric(topo.Dist)
+	homes := make([]graph.NodeID, wl.W)
+	homeRng := xrand.NewDerived(rootSeed, "serve", "homes", *topoName)
+	for o := range homes {
+		homes[o] = g.Nodes()[homeRng.Intn(g.NumNodes())]
+	}
+
+	col := obs.NewMetricsCollector()
+	cfg := stream.Config{
+		G:          g,
+		Metric:     metric,
+		NumObjects: wl.W,
+		Home:       homes,
+		Source: stream.NewGenerator(
+			xrand.NewDerived(rootSeed, "serve", "gen", *topoName), g, wl, *rate, *txns),
+		MaxWindow:     *window,
+		QueueCap:      *queue,
+		Policy:        pol,
+		Verify:        vm,
+		Retry:         engine.RetryPolicy{MaxAttempts: *retries},
+		Deadline:      *deadline,
+		PipelineDepth: *pipeline,
+		Collector:     col,
+	}
+
+	start := time.Now()
+	res, err := stream.Serve(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("serve %s: %d nodes, %d objects, workload %s, rate %.3g, policy %s, verify %s, seed %d\n",
+		*topoName, g.NumNodes(), wl.W, *workload, *rate, pol, vm, rootSeed)
+	fmt.Printf("admitted=%d rejected=%d blocked=%d committed=%d windows=%d\n",
+		res.Admitted, res.Rejected, res.Blocked, res.Committed, res.Windows)
+	fmt.Printf("clock=%d steps throughput=%.4f txn/step comm=%d queue_peak=%d\n",
+		res.Clock, res.Throughput, res.CommCost, res.QueuePeak)
+	fmt.Printf("response mean=%.2f max=%d steps\n", res.MeanResponse, res.MaxResponse)
+	fmt.Printf("digest=%016x wall=%s\n", res.Digest, wall.Round(time.Millisecond))
+
+	if *prom != "" {
+		f, err := os.Create(*prom)
+		if err != nil {
+			return err
+		}
+		if err := col.Registry().WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *prom)
+	}
+	if *ledger != "" {
+		if err := appendServeRecord(*ledger, *topoName, *workload, fs, rootSeed, res, col, wall); err != nil {
+			return err
+		}
+		fmt.Printf("appended run record to %s\n", *ledger)
+	}
+	return nil
+}
+
+// appendServeRecord writes the run's single ledger entry: the stream
+// counters, the response-time quantiles, and the window-latency
+// distribution, fingerprinted by the full serving configuration so
+// `bench compare` pools repeat runs of one setup.
+func appendServeRecord(path, topoName, workload string, fs *flag.FlagSet, rootSeed int64,
+	res *stream.Result, col *obs.Collector, wall time.Duration) error {
+	config := map[string]string{"topo": topoName, "workload": workload}
+	for _, name := range []string{"n", "side", "dim", "alpha", "beta", "gamma",
+		"w", "k", "rate", "txns", "window", "queue", "policy", "verify"} {
+		config[name] = fs.Lookup(name).Value.String()
+	}
+	config["seed"] = fmt.Sprint(rootSeed)
+
+	rec := obs.RunRecord{
+		Experiment:      "serve/" + topoName,
+		Config:          config,
+		Seed:            rootSeed,
+		Algorithm:       "stream/window",
+		TotalMS:         float64(wall.Nanoseconds()) / 1e6,
+		Executed:        res.Committed,
+		StreamAdmitted:  res.Admitted,
+		StreamRejected:  res.Rejected,
+		StreamBlocked:   res.Blocked,
+		StreamWindows:   int64(res.Windows),
+		StreamQueuePeak: int64(res.QueuePeak),
+	}
+	for _, s := range col.Registry().Snapshot() {
+		switch s.Name {
+		case "stream_window_latency_steps":
+			rec.WindowLatency = obs.HistDelta(s, obs.Sample{})
+		case "stream_txn_response_steps":
+			rec.Latency = obs.HistDelta(s, obs.Sample{})
+			rec.LatencyP50, rec.LatencyP99 = s.P50, s.P99
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l := obs.NewLedger(f)
+	err = l.Append(&rec)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// parseVerifyMode resolves the -verify flag.
+func parseVerifyMode(s string) (engine.VerifyMode, error) {
+	switch strings.ToLower(s) {
+	case "full":
+		return engine.VerifyFull, nil
+	case "fast":
+		return engine.VerifyFast, nil
+	case "off":
+		return engine.VerifyOff, nil
+	default:
+		return 0, fmt.Errorf("unknown verify mode %q (want full, fast, or off)", s)
+	}
+}

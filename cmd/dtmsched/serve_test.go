@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtmsched/internal/obs"
+)
+
+// TestServeSmoke drains a short seeded stream through the in-process
+// serve command, then checks the ledger record it appends (stream
+// counters, window-latency distribution) and the Prometheus exposition
+// it dumps, and gates the ledger against itself.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "serve.jsonl")
+	prom := filepath.Join(dir, "serve.prom")
+
+	args := []string{"-topo", "line", "-n", "12", "-w", "4", "-rate", "0.6",
+		"-txns", "120", "-window", "4", "-queue", "6", "-policy", "reject",
+		"-seed", "7", "-ledger", ledger, "-prom", prom}
+	if err := runServeCmd(args); err != nil {
+		t.Fatal(err)
+	}
+	// Same flags, same seed: the second run must append a record with an
+	// identical fingerprint and identical deterministic counters.
+	if err := runServeCmd(args); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadLedgerFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("two serve runs wrote %d records, want 2", len(recs))
+	}
+	a, b := recs[0], recs[1]
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("same flags, different fingerprints: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.StreamAdmitted != b.StreamAdmitted || a.StreamRejected != b.StreamRejected ||
+		a.StreamWindows != b.StreamWindows || a.Executed != b.Executed {
+		t.Errorf("same seed, different stream counters:\n%+v\n%+v", a, b)
+	}
+	if a.StreamAdmitted == 0 || a.StreamAdmitted != a.Executed {
+		t.Errorf("admitted %d must be nonzero and equal committed %d", a.StreamAdmitted, a.Executed)
+	}
+	if a.StreamWindows < 2 || a.StreamQueuePeak < 1 || a.StreamQueuePeak > 6 {
+		t.Errorf("implausible stream shape: %+v", a)
+	}
+	if a.WindowLatency == nil || a.WindowLatency.Count != a.StreamWindows {
+		t.Errorf("window latency distribution missing or mismatched: %+v", a.WindowLatency)
+	}
+	if a.Latency == nil || a.Latency.Count != a.Executed || a.LatencyP99 < a.LatencyP50 {
+		t.Errorf("response distribution missing or mismatched: %+v p50=%d p99=%d",
+			a.Latency, a.LatencyP50, a.LatencyP99)
+	}
+
+	if code := runBenchCmd([]string{"gate", ledger, ledger}); code != 0 {
+		t.Errorf("gating a serve ledger against itself exited %d, want 0", code)
+	}
+
+	text, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"stream_admitted_total", "stream_rejected_total",
+		"stream_committed_total", "stream_windows_total", "stream_queue_depth_peak",
+		"stream_window_latency_steps_bucket", "stream_txn_response_steps_bucket"} {
+		if !strings.Contains(string(text), metric) {
+			t.Errorf("prom exposition missing %s", metric)
+		}
+	}
+}
+
+// TestServeFlagErrors covers the flag validation paths.
+func TestServeFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"topo":     {"-topo", "mobius"},
+		"workload": {"-workload", "nope"},
+		"policy":   {"-policy", "drop"},
+		"verify":   {"-verify", "maybe"},
+	} {
+		if err := runServeCmd(append(args, "-txns", "5")); err == nil {
+			t.Errorf("%s: bad flag accepted", name)
+		}
+	}
+}

@@ -174,6 +174,54 @@ func (c *Collector) Fault(fr *faults.Report) {
 	c.reg.Histogram("fault_inflation_pct", nil).Observe(int64(fr.Inflation*100 + 0.5))
 }
 
+// StreamAdmit records one admission round of the streaming scheduler:
+// how many transactions were admitted into / rejected from / blocked at
+// the bounded queue since the last call, plus the queue depth after the
+// round (current-value gauge and all-time peak). Nil collectors are
+// allocation-free no-ops.
+func (c *Collector) StreamAdmit(admitted, rejected, blocked int64, queueDepth int) {
+	if c == nil {
+		return
+	}
+	if admitted > 0 {
+		c.reg.Counter("stream_admitted_total").Add(admitted)
+	}
+	if rejected > 0 {
+		c.reg.Counter("stream_rejected_total").Add(rejected)
+	}
+	if blocked > 0 {
+		c.reg.Counter("stream_blocked_total").Add(blocked)
+	}
+	c.reg.Gauge("stream_queue_depth").Set(int64(queueDepth))
+	c.reg.Gauge("stream_queue_depth_peak").Max(int64(queueDepth))
+}
+
+// StreamWindow records one cut scheduling window: its size, its latency
+// (cut step to last commit step), and each member's response time
+// (commit step − arrival step). Nil collectors are allocation-free
+// no-ops.
+func (c *Collector) StreamWindow(size int, latency int64, responses []int64) {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("stream_windows_total").Inc()
+	c.reg.Histogram("stream_window_size", nil).Observe(int64(size))
+	c.reg.Histogram("stream_window_latency_steps", nil).Observe(latency)
+	resp := c.reg.Histogram("stream_txn_response_steps", nil)
+	for _, r := range responses {
+		resp.Observe(r)
+	}
+}
+
+// StreamCommit records one window's successful execution: size
+// transactions committed. Nil collectors are allocation-free no-ops.
+func (c *Collector) StreamCommit(size int) {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("stream_committed_total").Add(int64(size))
+}
+
 // Retry counts one engine-level job retry (RunBatch's transient-failure
 // retry policy). Nil-safe and allocation-free on the nil path.
 func (c *Collector) Retry() {

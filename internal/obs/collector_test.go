@@ -27,6 +27,9 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 		c.LowerBound(false, time.Millisecond, lb)
 		c.LowerBound(true, 0, lb)
 		c.Retry()
+		c.StreamAdmit(1, 1, 1, 1)
+		c.StreamWindow(1, 1, nil)
+		c.StreamCommit(1)
 		if c.Tracing() {
 			t.Fatal("nil collector must not trace")
 		}

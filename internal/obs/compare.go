@@ -161,6 +161,11 @@ func gateMetrics(r *RunRecord) []metricVal {
 		{"makespan", r.Makespan},
 		{"latency_p50", r.LatencyP50},
 		{"latency_p99", r.LatencyP99},
+		{"stream_admitted", r.StreamAdmitted},
+		{"stream_rejected", r.StreamRejected},
+		{"stream_blocked", r.StreamBlocked},
+		{"stream_windows", r.StreamWindows},
+		{"stream_queue_peak", r.StreamQueuePeak},
 	} {
 		if c.v != 0 {
 			out = append(out, metricVal{c.name, ClassCount, float64(c.v)})

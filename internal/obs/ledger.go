@@ -236,6 +236,17 @@ type RunRecord struct {
 	LatencyP99 int64         `json:"latency_p99,omitempty"`
 	Latency    *HistSnapshot `json:"latency,omitempty"`
 
+	// Stream* summarize a streaming-service run (dtmsched serve):
+	// admission-control outcomes, window count, queue peak, and the
+	// cut-to-last-commit window-latency distribution. All zero/nil for
+	// batch records, so pre-existing ledgers compare unchanged.
+	StreamAdmitted  int64         `json:"stream_admitted,omitempty"`
+	StreamRejected  int64         `json:"stream_rejected,omitempty"`
+	StreamBlocked   int64         `json:"stream_blocked,omitempty"`
+	StreamWindows   int64         `json:"stream_windows,omitempty"`
+	StreamQueuePeak int64         `json:"stream_queue_peak,omitempty"`
+	WindowLatency   *HistSnapshot `json:"window_latency,omitempty"`
+
 	// Env is the execution environment.
 	Env Env `json:"env"`
 }

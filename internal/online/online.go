@@ -16,10 +16,10 @@ package online
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"dtmsched/internal/graph"
 	"dtmsched/internal/tm"
+	"dtmsched/internal/xrand"
 )
 
 // Arrival couples a transaction with its release (arrival) step.
@@ -115,6 +115,18 @@ func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
 	if len(arrivals) != m {
 		return nil, fmt.Errorf("online: %d arrivals for %d transactions", len(arrivals), m)
 	}
+	// A Random policy without an Rng would nil-panic deep inside Pick;
+	// fail it up front with an actionable error instead.
+	switch p := pol.(type) {
+	case Random:
+		if p.Rng == nil {
+			return nil, fmt.Errorf("online: Random policy requires a non-nil Rng (seed one with xrand.New)")
+		}
+	case *Random:
+		if p == nil || p.Rng == nil {
+			return nil, fmt.Errorf("online: Random policy requires a non-nil Rng (seed one with xrand.New)")
+		}
+	}
 	arriveAt := make([]int64, m)
 	for i := range arriveAt {
 		arriveAt[i] = -1
@@ -178,6 +190,13 @@ func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
 	}
 	horizon += int64(m+1) * (diamBound + 2) * int64(maxInt(in.MaxK(), 1))
 
+	// Per-step scratch, hoisted out of the tick loop so steady-state
+	// steps are allocation-free (TestRunSteadyStateAllocs): requests are
+	// bucketed per object and dispatched in object-ID order, replacing
+	// the per-step map + sorted-key slice.
+	waiting := make([][]tm.TxnID, in.NumObjects)
+	sinceBuf := make([]int64, m)
+
 	for step := int64(1); remaining > 0; step++ {
 		if step > horizon {
 			return nil, fmt.Errorf("online: no progress by step %d with %d transactions pending", step, remaining)
@@ -214,7 +233,9 @@ func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
 		}
 		// 3. Requests: each live transaction starts waiting for its next
 		// object (ordered acquisition ⇒ at most one outstanding request).
-		waiting := make(map[tm.ObjectID][]tm.TxnID)
+		for o := range waiting {
+			waiting[o] = waiting[o][:0]
+		}
 		for i := 0; i < m; i++ {
 			if commit[i] >= 0 || arriveAt[i] > step {
 				continue
@@ -230,20 +251,19 @@ func Run(in *tm.Instance, arrivals []Arrival, pol Policy) (*Result, error) {
 		}
 		// 4. Dispatch: each free, idle object picks a waiter via the
 		// policy and departs (arrives after dist steps; dist 0 = next
-		// step delivery so holding is atomic per step).
-		dispatchOrder := make([]int, 0, len(waiting))
-		for o := range waiting {
-			dispatchOrder = append(dispatchOrder, int(o))
-		}
-		sort.Ints(dispatchOrder) // deterministic iteration
-		for _, oi := range dispatchOrder {
+		// step delivery so holding is atomic per step). Object-ID order
+		// keeps dispatch deterministic.
+		for oi := range waiting {
+			cands := waiting[oi]
+			if len(cands) == 0 {
+				continue
+			}
 			o := tm.ObjectID(oi)
 			st := &objs[o]
 			if st.holder >= 0 || st.target >= 0 || st.busyTil > step {
 				continue
 			}
-			cands := waiting[o]
-			since := make([]int64, len(cands))
+			since := sinceBuf[:len(cands)]
 			for i, id := range cands {
 				since[i] = txns[id].waitingSince
 			}
@@ -280,8 +300,12 @@ func BatchArrivals(in *tm.Instance) []Arrival {
 }
 
 // PoissonArrivals spreads arrivals with geometric inter-arrival gaps of
-// mean 1/rate transactions per step, in ID order — the standard open-system
-// workload.
+// mean exactly 1/min(rate, 1) steps, in ID order — the standard
+// open-system workload, the discrete-time analogue of a Poisson process.
+// Gaps are ≥ 1 (rates ≥ 1 clamp to one arrival per step), so the
+// realized injection rate matches the nominal one; the earlier sampler
+// here had mean gap (1−p)/p, overshooting the nominal rate
+// (TestPoissonRealizedRate pins the fix).
 func PoissonArrivals(r *rand.Rand, in *tm.Instance, rate float64) []Arrival {
 	if rate <= 0 {
 		panic(fmt.Sprintf("online: non-positive arrival rate %v", rate))
@@ -290,14 +314,7 @@ func PoissonArrivals(r *rand.Rand, in *tm.Instance, rate float64) []Arrival {
 	var t int64
 	for i := range out {
 		out[i] = Arrival{Txn: tm.TxnID(i), At: t}
-		// Geometric gap with success probability min(rate, 1).
-		p := rate
-		if p > 1 {
-			p = 1
-		}
-		for r.Float64() > p {
-			t++
-		}
+		t += xrand.GeometricGap(r, rate)
 	}
 	return out
 }

@@ -196,3 +196,64 @@ func minInt(a, b int) int {
 	}
 	return b
 }
+
+func TestPoissonRealizedRate(t *testing.T) {
+	// The sampler's gaps must have mean 1/min(rate,1): a long arrival
+	// stream realizes its nominal injection rate within a few percent
+	// (deterministic under the fixed seed). The pre-fix sampler had mean
+	// gap (1−p)/p, overshooting the rate — e.g. realized 1.0 at nominal
+	// 0.5.
+	topo := topology.NewLine(4096)
+	in := tm.UniformK(8, 2).Generate(xrand.New(11), topo.Graph(),
+		graph.FuncMetric(topo.Dist), topo.Graph().Nodes(), tm.PlaceAtRandomUser)
+	for _, rate := range []float64{0.1, 0.5, 0.9, 2.0} {
+		arr := PoissonArrivals(xrand.New(42), in, rate)
+		last := arr[len(arr)-1].At
+		if last <= 0 {
+			t.Fatalf("rate %v: last arrival at %d", rate, last)
+		}
+		realized := float64(len(arr)-1) / float64(last)
+		want := rate
+		if want > 1 {
+			want = 1 // rates ≥ 1 clamp to one arrival per step
+		}
+		if rel := realized/want - 1; rel < -0.05 || rel > 0.05 {
+			t.Fatalf("rate %v: realized %.4f txn/step (last arrival %d), off by %+.1f%%",
+				rate, realized, last, rel*100)
+		}
+	}
+}
+
+func TestRandomNilRngError(t *testing.T) {
+	in := cliqueInstance(6, 3, 1, 10)
+	if _, err := Run(in, BatchArrivals(in), Random{}); err == nil {
+		t.Fatal("Random{Rng: nil} accepted; want a clear error, not a Pick panic")
+	}
+	if _, err := Run(in, BatchArrivals(in), (*Random)(nil)); err == nil {
+		t.Fatal("(*Random)(nil) accepted")
+	}
+	if _, err := Run(in, BatchArrivals(in), &Random{}); err == nil {
+		t.Fatal("&Random{Rng: nil} accepted")
+	}
+}
+
+func TestRunSteadyStateAllocs(t *testing.T) {
+	// Run's allocations must not scale with the number of simulated
+	// steps: stretching the idle tail by 5000 ticks (one straggler
+	// arriving late) may not cost more than a handful of extra
+	// allocations over the short run.
+	in := cliqueInstance(16, 8, 2, 9)
+	measure := func(lastAt int64) float64 {
+		arr := BatchArrivals(in)
+		arr[15].At = lastAt
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(in, arr, FIFO{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(100), measure(5100)
+	if long > short+8 {
+		t.Fatalf("allocations scale with steps: %.0f allocs for ~100 ticks vs %.0f for ~5100", short, long)
+	}
+}

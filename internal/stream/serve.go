@@ -1,0 +1,443 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"dtmsched/internal/depgraph"
+	"dtmsched/internal/engine"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/lower"
+	"dtmsched/internal/obs"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/windows"
+)
+
+// Config describes one streaming service run.
+type Config struct {
+	// G and Metric describe the network (Metric nil = the graph itself).
+	G      *graph.Graph
+	Metric graph.Metric
+	// NumObjects is the shared object count; Home holds each object's
+	// initial position (len NumObjects).
+	NumObjects int
+	Home       []graph.NodeID
+	// Source supplies the transaction stream (a *Generator for seeded
+	// load, or any custom Source).
+	Source Source
+	// MaxWindow caps the transactions per scheduling window (0 = the
+	// number of nodes — one full window of the paper's batch model).
+	MaxWindow int
+	// QueueCap bounds the admission queue (0 = 2×MaxWindow).
+	QueueCap int
+	// Policy selects the backpressure behavior when the queue is full.
+	Policy Policy
+	// Verify is the per-window engine verification policy (zero value =
+	// VerifyFull, the engine's default; serving at rate usually wants
+	// VerifyFast).
+	Verify engine.VerifyMode
+	// Retry and Deadline are the engine's per-window execution policies.
+	Retry    engine.RetryPolicy
+	Deadline time.Duration
+	// PipelineDepth is how many cut windows may queue for execution
+	// while earlier ones run (0 = 1): the cutter fills window w+1 while
+	// the executor drains window w.
+	PipelineDepth int
+	// Collector receives stream_* admission/window metrics and the
+	// engine's per-stage instrumentation; nil costs nothing.
+	Collector *obs.Collector
+	// Hook observes the per-window engine jobs (ledger hooks etc.).
+	Hook engine.Hook
+}
+
+// Result summarizes one drained stream. All fields except nothing are
+// deterministic for a fixed seed and configuration.
+type Result struct {
+	// Admitted / Rejected / Blocked are the admission-control outcomes:
+	// transactions that entered the queue, were dropped by the Reject
+	// policy, or stalled at least once under the Block policy.
+	Admitted int64
+	Rejected int64
+	Blocked  int64
+	// Committed counts transactions whose window the engine executed.
+	Committed int64
+	// Windows is the number of cut windows.
+	Windows int
+	// WindowSizes holds each window's transaction count, in cut order.
+	WindowSizes []int
+	// Clock is the final logical step (the last window's last commit).
+	Clock int64
+	// QueuePeak is the maximum queue depth observed after any admission.
+	QueuePeak int
+	// CommCost is the total object travel distance across all windows.
+	CommCost int64
+	// MeanResponse / MaxResponse aggregate commit − arrival over all
+	// committed transactions.
+	MeanResponse float64
+	MaxResponse  int64
+	// Throughput is Committed / Clock, in transactions per step.
+	Throughput float64
+	// Digest fingerprints the run's logical decisions — admission order,
+	// window cuts, and commit steps — so two runs can be compared for
+	// bit-determinism without retaining every schedule.
+	Digest uint64
+}
+
+// windowJob is one cut window handed to the executor: the shadow
+// instance (homes frozen at the objects' release positions), the
+// absolute-time schedule, and the member items.
+type windowJob struct {
+	index int
+	in    *tm.Instance
+	sched *schedule.Schedule
+	size  int
+}
+
+// Serve drains the configured stream: admit → cut → schedule → execute
+// until the source is exhausted and every window has run. It returns the
+// deterministic run summary, or the first error (invalid configuration,
+// an infeasible window caught by the cross-checker, or a window whose
+// engine execution failed after retries).
+func Serve(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.G == nil || cfg.Source == nil {
+		return nil, fmt.Errorf("stream: Config needs G and Source")
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric = cfg.G
+	}
+	if cfg.NumObjects <= 0 {
+		return nil, fmt.Errorf("stream: NumObjects %d < 1", cfg.NumObjects)
+	}
+	if len(cfg.Home) != cfg.NumObjects {
+		return nil, fmt.Errorf("stream: %d homes for %d objects", len(cfg.Home), cfg.NumObjects)
+	}
+	n := cfg.G.NumNodes()
+	maxWindow := cfg.MaxWindow
+	if maxWindow <= 0 {
+		maxWindow = n
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 2 * maxWindow
+	}
+	depth := cfg.PipelineDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	col := cfg.Collector
+
+	// Executor: windows run through the engine (with the batch layer's
+	// retry/deadline policies) while the serving loop cuts the next one.
+	// The loop owns all scheduling state, so executor interleaving never
+	// touches determinism.
+	jobs := make(chan windowJob, depth)
+	var (
+		execWG    sync.WaitGroup
+		execErr   error
+		committed int64
+	)
+	oracle := lower.NewOracle(lower.Options{})
+	execWG.Add(1)
+	go func() {
+		defer execWG.Done()
+		for wj := range jobs {
+			if execErr != nil {
+				continue // drain remaining windows after a failure
+			}
+			results, err := engine.RunBatch(ctx, []engine.Job{{
+				Name:           fmt.Sprintf("stream/w%d", wj.index),
+				Instance:       wj.in,
+				Schedule:       wj.sched,
+				Algorithm:      "stream/window",
+				Verify:         cfg.Verify,
+				SkipLowerBound: true,
+			}}, engine.Options{
+				Workers:     1,
+				Hook:        cfg.Hook,
+				Collector:   col,
+				Deadline:    cfg.Deadline,
+				Retry:       cfg.Retry,
+				LowerOracle: oracle,
+			})
+			if err == nil {
+				for _, r := range results {
+					if r.Err != nil {
+						err = r.Err
+						break
+					}
+				}
+			}
+			if err != nil {
+				execErr = fmt.Errorf("stream: window %d execution failed: %w", wj.index, err)
+				continue
+			}
+			committed += int64(wj.size)
+			col.StreamCommit(wj.size)
+		}
+	}()
+
+	res := &Result{}
+	digest := fnv.New64a()
+	hash64 := func(vs ...int64) {
+		var buf [8]byte
+		for _, v := range vs {
+			u := uint64(v)
+			for i := range buf {
+				buf[i] = byte(u >> (8 * i))
+			}
+			digest.Write(buf[:])
+		}
+	}
+	fail := func(err error) (*Result, error) {
+		close(jobs)
+		execWG.Wait()
+		return nil, err
+	}
+
+	// Chained scheduling state: object release steps/nodes and per-node
+	// last-commit steps span the whole stream, exactly as windows.Run
+	// chains homes across a finite sequence. The mutable conflict index
+	// is registered/deregistered per window so dependency graphs reuse
+	// its member-list capacity; the chain checker independently
+	// re-verifies every cut window's feasibility.
+	relT := make([]int64, cfg.NumObjects)
+	relN := append([]graph.NodeID(nil), cfg.Home...)
+	nodeBusy := make(map[graph.NodeID]int64)
+	index := tm.NewConflictIndex(cfg.NumObjects)
+	checker := windows.NewChainChecker(metric, cfg.Home)
+
+	var (
+		queue      []Item
+		pending    *Item
+		pendingHit bool // pending already counted as blocked
+		srcDone    bool
+		lastArrive int64 = -1
+		clock      int64
+		totalResp  float64
+	)
+
+	// admit pulls arrivals with Arrive ≤ upTo into the bounded queue in
+	// arrival order, applying the backpressure policy when full.
+	admit := func(upTo int64) error {
+		var admitted, rejected, blocked int64
+		for {
+			if pending == nil {
+				it, ok := cfg.Source.Next()
+				if !ok {
+					srcDone = true
+					break
+				}
+				if it.Arrive < lastArrive {
+					return fmt.Errorf("stream: source emitted arrival %d after %d (must be non-decreasing)", it.Arrive, lastArrive)
+				}
+				if len(it.Objects) == 0 {
+					return fmt.Errorf("stream: transaction %d requests no objects", it.Seq)
+				}
+				for _, o := range it.Objects {
+					if o < 0 || int(o) >= cfg.NumObjects {
+						return fmt.Errorf("stream: transaction %d requests object %d outside [0,%d)", it.Seq, o, cfg.NumObjects)
+					}
+				}
+				lastArrive = it.Arrive
+				pending = &it
+				pendingHit = false
+			}
+			if pending.Arrive > upTo {
+				break
+			}
+			if len(queue) >= queueCap {
+				if cfg.Policy == Reject {
+					rejected++
+					pending = nil
+					continue
+				}
+				// Block: the arrival waits at the source; count the
+				// stall once and stop pulling until space frees up.
+				if !pendingHit {
+					blocked++
+					pendingHit = true
+				}
+				break
+			}
+			queue = append(queue, *pending)
+			admitted++
+			pending = nil
+			if len(queue) > res.QueuePeak {
+				res.QueuePeak = len(queue)
+			}
+		}
+		res.Admitted += admitted
+		res.Rejected += rejected
+		res.Blocked += blocked
+		col.StreamAdmit(admitted, rejected, blocked, len(queue))
+		return nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		if err := admit(clock); err != nil {
+			return fail(err)
+		}
+		if len(queue) == 0 {
+			if srcDone && pending == nil {
+				break
+			}
+			// Idle: jump the clock to the next arrival. pending is
+			// non-nil here (a blocked arrival cannot coexist with an
+			// empty queue since queueCap ≥ 1).
+			clock = pending.Arrive
+			if err := admit(clock); err != nil {
+				return fail(err)
+			}
+		}
+
+		// Cut: first-come-first-served from the queue front, skipping
+		// transactions whose node is already in the window (the batch
+		// model admits one transaction per node per window); skipped
+		// items keep their queue order for the next cut.
+		cut := make([]Item, 0, maxWindow)
+		inWindow := make(map[graph.NodeID]bool, maxWindow)
+		rest := queue[:0]
+		for _, it := range queue {
+			if len(cut) < maxWindow && !inWindow[it.Node] {
+				inWindow[it.Node] = true
+				cut = append(cut, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+		queue = rest
+
+		// Shadow instance: this window's transactions with object homes
+		// frozen at the current release positions, so the engine's
+		// algebraic validation and simulator replay see exactly the
+		// handoff state the cutter scheduled against. relN is snapshotted
+		// because the loop keeps mutating it while the executor runs.
+		txns := make([]tm.Txn, len(cut))
+		for i, it := range cut {
+			txns[i] = tm.Txn{Node: it.Node, Objects: it.Objects}
+		}
+		in := tm.NewInstance(cfg.G, metric, cfg.NumObjects, txns, append([]graph.NodeID(nil), relN...))
+
+		// Dependency graph over the mutable index: register this
+		// window's members, build, deregister. Cross-window constraints
+		// ride on relT/relN, not on index edges, so the index only ever
+		// holds the window being cut (and retains member-list capacity
+		// across windows).
+		for i := range in.Txns {
+			index.Add(in.Txns[i].ID, in.Txns[i].Objects)
+		}
+		h := depgraph.BuildOpts(in, nil, depgraph.Options{Index: index})
+		local := h.GreedyColor(h.OrderByNode(in))
+		for i := range in.Txns {
+			index.Remove(in.Txns[i].ID, in.Txns[i].Objects)
+		}
+
+		// List-schedule in coloring order (colors, then IDs): each
+		// transaction takes the earliest step after the cut boundary
+		// that its objects can reach it and its node is free. Arrivals
+		// need no explicit constraint: every member arrived ≤ clock, so
+		// t ≥ clock+1 > its arrival.
+		order := make([]int, len(h.IDs))
+		for i := range order {
+			order[i] = i
+		}
+		sortByColor(order, local, h.IDs)
+		s := schedule.New(in.NumTxns())
+		windowEnd := clock
+		for _, i := range order {
+			id := h.IDs[i]
+			txn := &in.Txns[id]
+			t := clock + 1
+			for _, o := range txn.Objects {
+				if need := relT[o] + metric.Dist(relN[o], txn.Node); need > t {
+					t = need
+				}
+			}
+			if busy := nodeBusy[txn.Node]; busy >= t {
+				t = busy + 1
+			}
+			s.Times[id] = t
+			nodeBusy[txn.Node] = t
+			for _, o := range txn.Objects {
+				if t > relT[o] {
+					relT[o] = t
+					relN[o] = txn.Node
+				}
+			}
+			if t > windowEnd {
+				windowEnd = t
+			}
+		}
+
+		// Independent feasibility cross-check (the windows.ChainChecker
+		// the finite-sequence scheduler uses): handoff chains and
+		// per-node commit ordering across every window so far.
+		if err := checker.Check(in, s); err != nil {
+			return fail(fmt.Errorf("stream: window %d infeasible: %w", res.Windows, err))
+		}
+
+		// Window accounting: latency (cut → last commit), per-member
+		// response times, communication cost, and the determinism
+		// digest over (seq, commit) pairs.
+		responses := make([]int64, len(cut))
+		for i, it := range cut {
+			r := s.Times[in.Txns[i].ID] - it.Arrive
+			responses[i] = r
+			totalResp += float64(r)
+			if r > res.MaxResponse {
+				res.MaxResponse = r
+			}
+			hash64(int64(it.Seq), s.Times[in.Txns[i].ID])
+		}
+		res.CommCost += s.CommCost(in)
+		col.StreamWindow(len(cut), windowEnd-clock, responses)
+		res.WindowSizes = append(res.WindowSizes, len(cut))
+
+		select {
+		case jobs <- windowJob{index: res.Windows, in: in, sched: s, size: len(cut)}:
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		}
+		res.Windows++
+		clock = windowEnd
+	}
+
+	close(jobs)
+	execWG.Wait()
+	if execErr != nil {
+		return nil, execErr
+	}
+	res.Committed = committed
+	res.Clock = clock
+	if res.Committed > 0 {
+		res.MeanResponse = totalResp / float64(res.Committed)
+	}
+	if res.Clock > 0 {
+		res.Throughput = float64(res.Committed) / float64(res.Clock)
+	}
+	res.Digest = digest.Sum64()
+	return res, nil
+}
+
+// sortByColor orders vertex indices by (color, transaction ID) — the
+// deterministic list-scheduling order shared with windows.Run.
+func sortByColor(order []int, color []int64, ids []tm.TxnID) {
+	sort.Slice(order, func(a, b int) bool {
+		if color[order[a]] != color[order[b]] {
+			return color[order[a]] < color[order[b]]
+		}
+		return ids[order[a]] < ids[order[b]]
+	})
+}

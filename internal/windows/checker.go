@@ -1,0 +1,114 @@
+package windows
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+)
+
+// ChainChecker cross-checks a sequence of window schedules against the
+// whole-sequence feasibility rules, independently of the scheduler's own
+// bookkeeping: per-object handoff chains must leave enough transfer time
+// across window boundaries (an object released at step t on node u
+// reaches its next user v no earlier than t + dist(u, v)), and the
+// transactions a node hosts across windows must commit at strictly
+// increasing steps. State advances window by window, so feeding every
+// window of a sequence through Check validates the whole composition —
+// the cross-check windows.Run applies to both execution modes and the
+// streaming cutter reuses per cut window.
+type ChainChecker struct {
+	metric graph.Metric
+	// relT / relN track each object's release step and node after the
+	// windows checked so far (the virtual time-0 holder initially).
+	relT []int64
+	relN []graph.NodeID
+	// nodeBusy is the last verified commit step per node.
+	nodeBusy map[graph.NodeID]int64
+	// windows counts the windows verified so far, for error context.
+	windows int
+}
+
+// NewChainChecker starts a checker for a sequence whose objects begin at
+// the given homes under the given metric.
+func NewChainChecker(metric graph.Metric, home []graph.NodeID) *ChainChecker {
+	return &ChainChecker{
+		metric:   metric,
+		relT:     make([]int64, len(home)),
+		relN:     append([]graph.NodeID(nil), home...),
+		nodeBusy: make(map[graph.NodeID]int64),
+	}
+}
+
+// Check validates one window's schedule against the chained state and,
+// when feasible, advances the state past it. The instance must share the
+// sequence's object space (NumObjects). On error the checker state is
+// unspecified; a failed sequence should not be checked further.
+func (c *ChainChecker) Check(in *tm.Instance, s *schedule.Schedule) error {
+	wi := c.windows
+	if len(s.Times) != in.NumTxns() {
+		return fmt.Errorf("windows: window %d: %d times for %d transactions", wi, len(s.Times), in.NumTxns())
+	}
+	if in.NumObjects != len(c.relT) {
+		return fmt.Errorf("windows: window %d has %d objects, checker tracks %d", wi, in.NumObjects, len(c.relT))
+	}
+	for i, t := range s.Times {
+		if t < 1 {
+			return fmt.Errorf("windows: window %d: transaction %d at step %d < 1", wi, i, t)
+		}
+	}
+
+	// Per-node uniqueness across the whole sequence: sweep this window's
+	// transactions in time order and require each node's commits to be
+	// strictly increasing over the chained nodeBusy state (which also
+	// rejects two same-node transactions within one window).
+	order := make([]int, in.NumTxns())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if s.Times[order[a]] != s.Times[order[b]] {
+			return s.Times[order[a]] < s.Times[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		node := in.Txns[i].Node
+		if busy, ok := c.nodeBusy[node]; ok && s.Times[i] <= busy {
+			return fmt.Errorf("windows: window %d: node %d commits at step %d, not after step %d",
+				wi, node, s.Times[i], busy)
+		}
+		c.nodeBusy[node] = s.Times[i]
+	}
+
+	// Per-object handoff chains: each object's users, in execution
+	// order, must be reachable from wherever the previous user (possibly
+	// in an earlier window) released it. Ties among users of a shared
+	// object are infeasible — the object cannot be at two nodes at once.
+	for o := 0; o < in.NumObjects; o++ {
+		oid := tm.ObjectID(o)
+		users := s.Order(in, oid)
+		if len(users) == 0 {
+			continue
+		}
+		for i, id := range users {
+			t, node := s.Times[id], in.Txns[id].Node
+			if i > 0 && t == s.Times[users[i-1]] {
+				return fmt.Errorf("windows: window %d: object %d used by transactions %d and %d both at step %d",
+					wi, o, users[i-1], id, t)
+			}
+			if need := c.relT[o] + c.metric.Dist(c.relN[o], node); t < need {
+				return fmt.Errorf("windows: window %d: object %d released at step %d on node %d cannot reach transaction %d (node %d) by step %d",
+					wi, o, c.relT[o], c.relN[o], id, node, t)
+			}
+			c.relT[o], c.relN[o] = t, node
+		}
+	}
+	c.windows++
+	return nil
+}
+
+// Windows reports how many windows the checker has verified.
+func (c *ChainChecker) Windows() int { return c.windows }

@@ -1,0 +1,110 @@
+package windows
+
+import (
+	"strings"
+	"testing"
+
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+)
+
+// replay feeds every window of a finished run through a fresh checker.
+func replay(t *testing.T, seq *Sequence, res *Result) error {
+	t.Helper()
+	c := NewChainChecker(seq.Metric, seq.Home)
+	for wi, in := range seq.Windows {
+		if err := c.Check(in, res.PerWindow[wi]); err != nil {
+			return err
+		}
+	}
+	if c.Windows() != len(seq.Windows) {
+		t.Fatalf("checker verified %d windows, want %d", c.Windows(), len(seq.Windows))
+	}
+	return nil
+}
+
+func TestChainCheckerAcceptsBothModes(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		seq := sequenceOn(t, 5, 11)
+		res, err := Run(seq, pipelined)
+		if err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+		if err := replay(t, seq, res); err != nil {
+			t.Fatalf("pipelined=%v: feasible sequence rejected: %v", pipelined, err)
+		}
+	}
+}
+
+func TestChainCheckerRejectsCorruption(t *testing.T) {
+	seq := sequenceOn(t, 4, 12)
+	res, err := Run(seq, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(res *Result)) error {
+		fresh, err := Run(seq, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(fresh)
+		return replay(t, seq, fresh)
+	}
+
+	// Pulling a later window's transaction to step 1 breaks its objects'
+	// handoff chains (or its node's commit ordering).
+	if err := corrupt(func(r *Result) { r.PerWindow[2].Times[0] = 1 }); err == nil {
+		t.Fatal("handoff corruption accepted")
+	}
+	// Cloning one window's times into the next forces node reuse at
+	// equal steps (every node hosts one transaction per window).
+	if err := corrupt(func(r *Result) { copy(r.PerWindow[1].Times, r.PerWindow[0].Times) }); err == nil {
+		t.Fatal("node-reuse corruption accepted")
+	}
+	// Zero times are rejected outright.
+	if err := corrupt(func(r *Result) { r.PerWindow[3].Times[5] = 0 }); err == nil {
+		t.Fatal("zero time accepted")
+	}
+	_ = res
+}
+
+func TestChainCheckerRejectsSharedObjectTie(t *testing.T) {
+	// Two transactions sharing the single object at the same step: the
+	// object would need to be at two nodes at once.
+	topo := topology.NewClique(4)
+	g := topo.Graph()
+	metric := graph.FuncMetric(topo.Dist)
+	txns := []tm.Txn{
+		{Node: g.Nodes()[0], Objects: []tm.ObjectID{0}},
+		{Node: g.Nodes()[1], Objects: []tm.ObjectID{0}},
+	}
+	in := tm.NewInstance(g, metric, 1, txns, []graph.NodeID{g.Nodes()[0]})
+	c := NewChainChecker(metric, in.Home)
+	err := c.Check(in, &schedule.Schedule{Times: []int64{2, 2}})
+	if err == nil || !strings.Contains(err.Error(), "both at step") {
+		t.Fatalf("tie on shared object not rejected: %v", err)
+	}
+}
+
+func TestChainCheckerMismatchedShapes(t *testing.T) {
+	seq := sequenceOn(t, 1, 13)
+	res, err := Run(seq, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong object-space width.
+	c := NewChainChecker(seq.Metric, seq.Home[:len(seq.Home)-1])
+	if err := c.Check(seq.Windows[0], res.PerWindow[0]); err == nil {
+		t.Fatal("object-count mismatch accepted")
+	}
+	// Wrong transaction count.
+	c = NewChainChecker(seq.Metric, seq.Home)
+	short := res.PerWindow[0].Clone()
+	short.Times = short.Times[:len(short.Times)-1]
+	if err := c.Check(seq.Windows[0], short); err == nil {
+		t.Fatal("times-length mismatch accepted")
+	}
+}

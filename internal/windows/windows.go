@@ -99,6 +99,15 @@ func Run(seq *Sequence, pipelined bool) (*Result, error) {
 	index := tm.NewConflictIndex(seq.NumObjects)
 	var prev *tm.Instance
 
+	// An independent cross-check of the composed sequence: the checker
+	// re-derives the per-object handoff chains and per-node commit
+	// ordering from the schedules alone, so a bookkeeping bug in either
+	// mode's relT/relN/nodeBusy updates surfaces as an error instead of
+	// an infeasible (but silently accepted) sequence. Pipelined mode has
+	// no other validation; barrier mode keeps its shadow-instance check
+	// as well.
+	checker := NewChainChecker(seq.Metric, seq.Home)
+
 	for wi, in := range seq.Windows {
 		if prev != nil {
 			for i := range prev.Txns {
@@ -206,6 +215,9 @@ func Run(seq *Sequence, pipelined bool) (*Result, error) {
 					clock = t
 				}
 			}
+		}
+		if err := checker.Check(in, s); err != nil {
+			return nil, fmt.Errorf("windows: %s mode cross-check failed: %w", mode, err)
 		}
 		res.PerWindow = append(res.PerWindow, s)
 		res.WindowEnd = append(res.WindowEnd, windowEnd)

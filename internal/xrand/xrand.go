@@ -43,6 +43,28 @@ func NewDerived(root int64, labels ...string) *rand.Rand {
 	return New(Derive(root, labels...))
 }
 
+// GeometricGap samples a discrete inter-arrival gap for a Bernoulli
+// (discrete-time Poisson) arrival process of the given rate: the number
+// of per-step coin flips with success probability p = min(rate, 1) up to
+// and including the first success. Gaps are therefore ≥ 1 with mean
+// exactly 1/p steps, so a stream of arrivals spaced by GeometricGap
+// realizes its nominal rate (rates ≥ 1 clamp to one arrival per step).
+// It panics on non-positive rates.
+func GeometricGap(r *rand.Rand, rate float64) int64 {
+	if rate <= 0 {
+		panic("xrand: non-positive arrival rate")
+	}
+	p := rate
+	if p > 1 {
+		p = 1
+	}
+	var gap int64 = 1
+	for r.Float64() > p {
+		gap++
+	}
+	return gap
+}
+
 // Perm fills a deterministic permutation of [0, n) using r.
 func Perm(r *rand.Rand, n int) []int { return r.Perm(n) }
 

@@ -125,3 +125,38 @@ func TestShuffle(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", s)
 	}
 }
+
+func TestGeometricGapMeanAndClamp(t *testing.T) {
+	r := New(17)
+	// Gaps are ≥ 1 with mean 1/p; a fixed seed makes the check exact.
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		const samples = 20000
+		var sum int64
+		for i := 0; i < samples; i++ {
+			g := GeometricGap(r, rate)
+			if g < 1 {
+				t.Fatalf("rate %v: gap %d < 1", rate, g)
+			}
+			sum += g
+		}
+		mean := float64(sum) / samples
+		if want := 1 / rate; mean < 0.97*want || mean > 1.03*want {
+			t.Fatalf("rate %v: mean gap %v, want ≈ %v", rate, mean, want)
+		}
+	}
+	// Rates ≥ 1 clamp to one arrival per step: the gap is exactly 1.
+	for i := 0; i < 100; i++ {
+		if g := GeometricGap(r, 2.5); g != 1 {
+			t.Fatalf("rate 2.5: gap %d, want 1", g)
+		}
+	}
+}
+
+func TestGeometricGapPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rate 0")
+		}
+	}()
+	GeometricGap(New(1), 0)
+}

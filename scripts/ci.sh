@@ -79,6 +79,49 @@ go test ./internal/engine -run 'TestLedgerHook|TestProfilerHook' -count=1
 go test ./cmd/dtmsched -run 'TestBenchGate|TestBenchRecordSmoke' -count=1
 go test ./cmd/dtmbench -run 'TestPublishPrefix' -count=1
 
+echo "== online loop guards =="
+# The online executor's steady-state tick must not allocate per step
+# (buffers are hoisted once per run), and the corrected Poisson sampler
+# must realize its nominal rate.
+go test ./internal/online -run 'TestRunSteadyStateAllocs|TestPoissonRealizedRate|TestRandomNilRngError' -count=1
+go test ./internal/xrand -run 'TestGeometricGap' -count=1
+
+echo "== streaming service guards =="
+# Serving is deterministic per seed (digest-pinned, verify-mode
+# invariant), backpressure is exercised in both policies, the
+# cross-window chain checker accepts both windows.Run modes and rejects
+# corrupted schedules, and the cutter/executor overlap is race-clean.
+go test ./internal/windows -run 'TestChainChecker' -count=1
+go test -race ./internal/stream -count=1
+
+echo "== serve-mode smoke =="
+# Drain a fixed seeded stream through the CLI twice: counts must be
+# deterministic, everything admitted must commit (reject policy), the
+# backpressure counters must reach the Prometheus exposition, and the
+# ledger it writes must self-gate clean.
+go test ./cmd/dtmsched -run 'TestServeSmoke' -count=1
+serve_tmp=$(mktemp -d)
+serve_args=(serve -topo line -n 16 -rate 0.8 -txns 200 -window 4 -queue 8 -policy reject -seed 11)
+go run ./cmd/dtmsched "${serve_args[@]}" -ledger "$serve_tmp/serve.jsonl" -prom "$serve_tmp/serve.prom" > "$serve_tmp/run1.txt"
+go run ./cmd/dtmsched "${serve_args[@]}" > "$serve_tmp/run2.txt"
+if ! diff <(grep -E 'admitted=|digest=' "$serve_tmp/run1.txt" | sed 's/wall=.*//') \
+          <(grep -E 'admitted=|digest=' "$serve_tmp/run2.txt" | sed 's/wall=.*//'); then
+    echo "serve: same seed produced different counts/digest" >&2
+    exit 1
+fi
+grep -q 'rejected=[1-9]' "$serve_tmp/run1.txt" || { echo "serve: overloaded reject run dropped nothing" >&2; exit 1; }
+admitted=$(sed -n 's/^admitted=\([0-9]*\) .*/\1/p' "$serve_tmp/run1.txt")
+committed=$(sed -n 's/.*committed=\([0-9]*\).*/\1/p' "$serve_tmp/run1.txt")
+if [[ "$admitted" != "$committed" ]]; then
+    echo "serve: admitted=$admitted != committed=$committed" >&2
+    exit 1
+fi
+for m in stream_admitted_total stream_rejected_total stream_committed_total stream_queue_depth_peak; do
+    grep -q "^$m" "$serve_tmp/serve.prom" || { echo "serve: $m missing from prom exposition" >&2; exit 1; }
+done
+go run ./cmd/dtmsched bench gate "$serve_tmp/serve.jsonl" "$serve_tmp/serve.jsonl" >/dev/null
+rm -rf "$serve_tmp"
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
