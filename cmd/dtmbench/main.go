@@ -183,6 +183,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit tables as CSV (one block per experiment) for plotting")
 		parallel  = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		lowerw    = flag.Int("lowerworkers", 0, "workers per certified lower-bound computation (0/1 = serial); bounds are identical at every count")
+		shardw    = flag.Int("shardworkers", 0, "hierarchical shard workers for E22 (0 = GOMAXPROCS); schedules are identical at every count")
 		precomp   = flag.String("precompute", "auto", "all-pairs distance matrix for graph-backed metrics: auto (small graphs only), on, off")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		buildb    = flag.String("buildbench", "", "benchmark the conflict-graph build at 1k/10k txns for these comma-separated worker counts, then exit")
@@ -209,6 +210,7 @@ func main() {
 	cfg.Trials = *trials
 	cfg.Workers = *parallel
 	cfg.LowerWorkers = *lowerw
+	cfg.HierWorkers = *shardw
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

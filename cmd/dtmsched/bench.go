@@ -61,9 +61,10 @@ type benchCell struct {
 }
 
 // benchSuite resolves a suite name to its cells; nil for unknown names.
-// The quick suite covers every scheduler family of the paper (greedy on
-// the clique, the line/grid offline algorithms, and the randomized
-// star/cluster schedulers); smoke is its two-cell prefix for tests.
+// The quick suite covers every scheduler family of the repo (greedy on
+// the clique, the line/grid offline algorithms, the randomized
+// star/cluster schedulers, and the hierarchical fog–cloud scheduler);
+// smoke is its two-cell prefix for tests.
 func benchSuite(name string) []benchCell {
 	quick := []benchCell{
 		{"clique64", func() topology.Topology { return topology.NewClique(64) }, 32, 2},
@@ -71,6 +72,7 @@ func benchSuite(name string) []benchCell {
 		{"line64", func() topology.Topology { return topology.NewLine(64) }, 32, 2},
 		{"star4x8", func() topology.Topology { return topology.NewStar(4, 8) }, 16, 2},
 		{"cluster4x8", func() topology.Topology { return topology.NewCluster(4, 8, 16) }, 32, 2},
+		{"fogcloud4x8", func() topology.Topology { return topology.NewFogCloud([]int{4, 8}, []int64{8, 1}) }, 32, 2},
 	}
 	switch name {
 	case "quick":

@@ -39,9 +39,11 @@ import (
 	"dtmsched/internal/analysis"
 	"dtmsched/internal/asciiviz"
 	"dtmsched/internal/baseline"
+	"dtmsched/internal/cliutil"
 	"dtmsched/internal/core"
 	"dtmsched/internal/engine"
 	"dtmsched/internal/graph"
+	"dtmsched/internal/hier"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/persist"
@@ -67,25 +69,24 @@ func main() {
 		}
 		return
 	}
+	tf := cliutil.RegisterTopoFlags(flag.CommandLine, cliutil.TopoFlags{
+		Name: "clique", N: 128, Side: 16, Dim: 7, Alpha: 8, Beta: 16, Gamma: 32,
+		Fanout: "4,8", LinkW: "8,1",
+	})
+	wf := cliutil.RegisterWorkloadFlags(flag.CommandLine, cliutil.WorkloadFlags{
+		Name: "uniform", W: 32, K: 2, Locality: 0.9,
+	})
 	var (
-		topo     = flag.String("topo", "clique", "topology: clique|line|grid|hypercube|butterfly|cluster|star|torus")
-		n        = flag.Int("n", 128, "nodes (clique/line), or per-topology default")
-		side     = flag.Int("side", 16, "grid/torus side length")
-		dim      = flag.Int("dim", 7, "hypercube/butterfly dimension")
-		alpha    = flag.Int("alpha", 8, "cluster/star: number of clusters/rays")
-		beta     = flag.Int("beta", 16, "cluster/star: nodes per cluster/ray")
-		gamma    = flag.Int64("gamma", 32, "cluster: bridge edge weight (γ ≥ β per the paper)")
-		w        = flag.Int("w", 32, "number of shared objects")
-		k        = flag.Int("k", 2, "objects per transaction")
-		workload = flag.String("workload", "uniform", "workload: uniform|zipf|hotspot|single")
-		alg      = flag.String("alg", "auto", "algorithm (see -list)")
-		seed     = flag.Int64("seed", 0, "root seed (0 = library default)")
-		trials   = flag.Int("trials", 1, "independent instances to schedule")
-		list     = flag.Bool("list", false, "list available algorithms and exit")
-		analyze  = flag.Bool("analyze", false, "print the schedule analysis (parallelism, critical chain, hot objects)")
-		trace    = flag.Bool("trace", false, "print the simulator's event trace (small instances)")
-		savePath = flag.String("save", "", "write the generated instance to a JSON file and exit")
-		loadPath = flag.String("load", "", "schedule an instance loaded from a JSON file instead of generating one")
+		alg          = flag.String("alg", "auto", "algorithm (see -list)")
+		hiertier     = flag.Int("hiertier", 0, "fogcloud: shard tier for the hierarchical scheduler (0 = fog tier)")
+		shardworkers = flag.Int("shardworkers", 0, "fogcloud: hierarchical shard workers (0 = GOMAXPROCS; schedule identical at every count)")
+		seed         = flag.Int64("seed", 0, "root seed (0 = library default)")
+		trials       = flag.Int("trials", 1, "independent instances to schedule")
+		list         = flag.Bool("list", false, "list available algorithms and exit")
+		analyze      = flag.Bool("analyze", false, "print the schedule analysis (parallelism, critical chain, hot objects)")
+		trace        = flag.Bool("trace", false, "print the simulator's event trace (small instances)")
+		savePath     = flag.String("save", "", "write the generated instance to a JSON file and exit")
+		loadPath     = flag.String("load", "", "schedule an instance loaded from a JSON file instead of generating one")
 	)
 	flag.Parse()
 
@@ -103,19 +104,18 @@ func main() {
 		return
 	}
 
-	var wl dtm.Workload
-	switch *workload {
-	case "uniform":
-		wl = dtm.Uniform(*w, *k)
-	case "zipf":
-		wl = dtm.Zipf(*w, *k)
-	case "hotspot":
-		wl = dtm.Hotspot(*w, *k)
-	case "single":
-		wl = dtm.SingleObject()
-	default:
-		fatalf("unknown workload %q", *workload)
+	// The localized workload shards objects by fog subtree, so workload
+	// resolution needs the topology; the System constructors below rebuild
+	// the same (deterministic) topology from the same flags.
+	topo, err := tf.Build()
+	if err != nil {
+		fatalf("%v", err)
 	}
+	twl, err := wf.Build(topo)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	wl := dtm.WrapWorkload(twl)
 
 	for trial := 0; trial < *trials; trial++ {
 		var opts []dtm.Option
@@ -125,25 +125,32 @@ func main() {
 			opts = append(opts, dtm.Seed(int64(1000+trial)))
 		}
 		var sys *dtm.System
-		switch *topo {
+		switch tf.Name {
 		case "clique":
-			sys = dtm.NewCliqueSystem(*n, wl, opts...)
+			sys = dtm.NewCliqueSystem(tf.N, wl, opts...)
 		case "line":
-			sys = dtm.NewLineSystem(*n, wl, opts...)
+			sys = dtm.NewLineSystem(tf.N, wl, opts...)
 		case "grid":
-			sys = dtm.NewGridSystem(*side, wl, opts...)
+			sys = dtm.NewGridSystem(tf.Side, wl, opts...)
 		case "torus":
-			sys = dtm.NewTorusSystem(*side, *side, wl, opts...)
+			sys = dtm.NewTorusSystem(tf.Side, tf.Side, wl, opts...)
 		case "hypercube":
-			sys = dtm.NewHypercubeSystem(*dim, wl, opts...)
+			sys = dtm.NewHypercubeSystem(tf.Dim, wl, opts...)
 		case "butterfly":
-			sys = dtm.NewButterflySystem(*dim, wl, opts...)
+			sys = dtm.NewButterflySystem(tf.Dim, wl, opts...)
 		case "cluster":
-			sys = dtm.NewClusterSystem(*alpha, *beta, *gamma, wl, opts...)
+			sys = dtm.NewClusterSystem(tf.Alpha, tf.Beta, tf.Gamma, wl, opts...)
 		case "star":
-			sys = dtm.NewStarSystem(*alpha, *beta, wl, opts...)
+			sys = dtm.NewStarSystem(tf.Alpha, tf.Beta, wl, opts...)
+		case "fogcloud":
+			fanout, weights, err := cliutil.ParseFogCloudShape(tf.Fanout, tf.LinkW)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts = append(opts, dtm.HierTier(*hiertier), dtm.HierShardWorkers(*shardworkers))
+			sys = dtm.NewFogCloudSystem(fanout, weights, wl, opts...)
 		default:
-			fatalf("unknown topology %q", *topo)
+			fatalf("unknown topology %q (want %s)", tf.Name, cliutil.TopoNames)
 		}
 		if *savePath != "" {
 			if err := persist.SaveInstance(*savePath, sys.Instance()); err != nil {
@@ -175,24 +182,21 @@ func main() {
 // the metrics snapshot.
 func runTraceCmd(args []string) error {
 	fs := flag.NewFlagSet("dtmsched trace", flag.ExitOnError)
+	tf := cliutil.RegisterTopoFlags(fs, cliutil.TopoFlags{
+		Name: "grid", N: 64, Side: 8, Dim: 5, Alpha: 4, Beta: 8, Gamma: 16,
+		Fanout: "4,8", LinkW: "8,1",
+	})
+	wf := cliutil.RegisterWorkloadFlags(fs, cliutil.WorkloadFlags{Name: "uniform", W: 16, K: 2, Locality: 0.9})
 	var (
-		topoName = fs.String("topo", "grid", "topology: clique|line|grid|torus|hypercube|butterfly|cluster|star")
-		n        = fs.Int("n", 64, "nodes (clique/line)")
-		side     = fs.Int("side", 8, "grid/torus side length")
-		dim      = fs.Int("dim", 5, "hypercube/butterfly dimension")
-		alpha    = fs.Int("alpha", 4, "cluster/star: number of clusters/rays")
-		beta     = fs.Int("beta", 8, "cluster/star: nodes per cluster/ray")
-		gamma    = fs.Int64("gamma", 16, "cluster: bridge edge weight")
-		w        = fs.Int("w", 16, "number of shared objects")
-		k        = fs.Int("k", 2, "objects per transaction")
-		workload = fs.String("workload", "uniform", "workload: uniform|zipf|hotspot|single")
-		alg      = fs.String("alg", "auto", "algorithm: auto (paper scheduler for the topology)|greedy|greedy-degree|sequential|list|random")
-		seed     = fs.Int64("seed", 0, "root seed (0 = library default)")
-		out      = fs.String("out", "", "write the structured JSONL trace to FILE")
-		chrome   = fs.String("chrome", "", "write a Chrome trace-event file (Perfetto / chrome://tracing) to FILE")
-		metrics  = fs.String("metrics", "", "write the metrics snapshot (JSON) to FILE")
-		width    = fs.Int64("width", 200, "max timeline width in steps before the text rendering is skipped")
-		objects  = fs.Int("objects", 40, "max object lanes in the text timeline")
+		alg          = fs.String("alg", "auto", "algorithm: auto (paper scheduler for the topology)|greedy|greedy-degree|sequential|list|random")
+		hiertier     = fs.Int("hiertier", 0, "fogcloud: shard tier for the hierarchical scheduler (0 = fog tier)")
+		shardworkers = fs.Int("shardworkers", 0, "fogcloud: hierarchical shard workers (0 = GOMAXPROCS)")
+		seed         = fs.Int64("seed", 0, "root seed (0 = library default)")
+		out          = fs.String("out", "", "write the structured JSONL trace to FILE")
+		chrome       = fs.String("chrome", "", "write a Chrome trace-event file (Perfetto / chrome://tracing) to FILE")
+		metrics      = fs.String("metrics", "", "write the metrics snapshot (JSON) to FILE")
+		width        = fs.Int64("width", 200, "max timeline width in steps before the text rendering is skipped")
+		objects      = fs.Int("objects", 40, "max object lanes in the text timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -202,32 +206,35 @@ func runTraceCmd(args []string) error {
 		rootSeed = xrand.DefaultSeed
 	}
 
-	topo, err := buildTopology(*topoName, *n, *side, *dim, *alpha, *beta, *gamma)
+	topo, err := tf.Build()
 	if err != nil {
 		return err
 	}
-	wl, err := buildWorkload(*workload, *w, *k)
+	wl, err := wf.Build(topo)
 	if err != nil {
 		return err
 	}
 	g := topo.Graph()
-	in := wl.Generate(xrand.NewDerived(rootSeed, "trace", *topoName), g, graph.FuncMetric(topo.Dist), g.Nodes(), tm.PlaceAtRandomUser)
+	in := wl.Generate(xrand.NewDerived(rootSeed, "trace", tf.Name), g, graph.FuncMetric(topo.Dist), g.Nodes(), tm.PlaceAtRandomUser)
 
 	sched, err := traceScheduler(*alg, topo, rootSeed)
 	if err != nil {
 		return err
 	}
+	if hs, ok := sched.(*hier.Scheduler); ok {
+		hs.Tier, hs.Workers = *hiertier, *shardworkers
+	}
 
 	col := obs.NewCollector()
 	rep, err := engine.Run(context.Background(), engine.Job{
-		Name: "trace/" + *topoName, Instance: in, Scheduler: sched, Collector: col,
+		Name: "trace/" + tf.Name, Instance: in, Scheduler: sched, Collector: col,
 	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("%-20s on %-10s makespan=%-7d lb=%-6d ratio=%.2f comm=%d\n",
-		rep.Algorithm, *topoName, rep.Makespan, rep.Bound.Value, rep.Ratio, rep.CommCost)
+		rep.Algorithm, tf.Name, rep.Makespan, rep.Bound.Value, rep.Ratio, rep.CommCost)
 	fmt.Println()
 	fmt.Print(asciiviz.Timeline(in, rep.Schedule, *objects, *width))
 
@@ -270,47 +277,6 @@ func runTraceCmd(args []string) error {
 	return nil
 }
 
-// buildTopology resolves a topology name plus its size flags — the shared
-// constructor table of the trace and serve subcommands.
-func buildTopology(name string, n, side, dim, alpha, beta int, gamma int64) (topology.Topology, error) {
-	switch name {
-	case "clique":
-		return topology.NewClique(n), nil
-	case "line":
-		return topology.NewLine(n), nil
-	case "grid":
-		return topology.NewSquareGrid(side), nil
-	case "torus":
-		return topology.NewTorus(side, side), nil
-	case "hypercube":
-		return topology.NewHypercube(dim), nil
-	case "butterfly":
-		return topology.NewButterfly(dim), nil
-	case "cluster":
-		return topology.NewCluster(alpha, beta, gamma), nil
-	case "star":
-		return topology.NewStar(alpha, beta), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
-}
-
-// buildWorkload resolves a workload name for the internal tm layer.
-func buildWorkload(name string, w, k int) (tm.Workload, error) {
-	switch name {
-	case "uniform":
-		return tm.UniformK(w, k), nil
-	case "zipf":
-		return tm.ZipfK(w, k), nil
-	case "hotspot":
-		return tm.HotspotK(w, k), nil
-	case "single":
-		return tm.SingleObject(), nil
-	default:
-		return tm.Workload{}, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
 // traceScheduler resolves the trace subcommand's algorithm: "auto" picks
 // the paper's scheduler for the topology (mirroring the facade), other
 // names resolve through the topology-free table.
@@ -325,6 +291,8 @@ func traceScheduler(alg string, topo topology.Topology, seed int64) (core.Schedu
 			return &core.Cluster{Topo: t, Rng: xrand.NewDerived(seed, "trace", "cluster")}, nil
 		case *topology.Star:
 			return &core.Star{Topo: t, Rng: xrand.NewDerived(seed, "trace", "star")}, nil
+		case *topology.FogCloud:
+			return &hier.Scheduler{Topo: t}, nil
 		default:
 			return &core.Greedy{}, nil
 		}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"dtmsched/internal/cliutil"
 	"dtmsched/internal/engine"
 	"dtmsched/internal/graph"
 	"dtmsched/internal/obs"
@@ -28,17 +29,12 @@ import (
 // runServeCmd implements `dtmsched serve`.
 func runServeCmd(args []string) error {
 	fs := flag.NewFlagSet("dtmsched serve", flag.ExitOnError)
+	tf := cliutil.RegisterTopoFlags(fs, cliutil.TopoFlags{
+		Name: "clique", N: 16, Side: 8, Dim: 5, Alpha: 4, Beta: 8, Gamma: 16,
+		Fanout: "4,8", LinkW: "8,1",
+	})
+	wf := cliutil.RegisterWorkloadFlags(fs, cliutil.WorkloadFlags{Name: "uniform", W: 16, K: 2, Locality: 0.9})
 	var (
-		topoName = fs.String("topo", "clique", "topology: clique|line|grid|torus|hypercube|butterfly|cluster|star")
-		n        = fs.Int("n", 16, "nodes (clique/line)")
-		side     = fs.Int("side", 8, "grid/torus side length")
-		dim      = fs.Int("dim", 5, "hypercube/butterfly dimension")
-		alpha    = fs.Int("alpha", 4, "cluster/star: number of clusters/rays")
-		beta     = fs.Int("beta", 8, "cluster/star: nodes per cluster/ray")
-		gamma    = fs.Int64("gamma", 16, "cluster: bridge edge weight")
-		w        = fs.Int("w", 16, "number of shared objects")
-		k        = fs.Int("k", 2, "objects per transaction")
-		workload = fs.String("workload", "uniform", "workload: uniform|zipf|hotspot|single")
 		rate     = fs.Float64("rate", 0.5, "injection rate in transactions per logical step")
 		txns     = fs.Int("txns", 500, "total transactions to stream before draining")
 		window   = fs.Int("window", 0, "max transactions per scheduling window (0 = node count)")
@@ -60,11 +56,11 @@ func runServeCmd(args []string) error {
 		rootSeed = xrand.DefaultSeed
 	}
 
-	topo, err := buildTopology(*topoName, *n, *side, *dim, *alpha, *beta, *gamma)
+	topo, err := tf.Build()
 	if err != nil {
 		return err
 	}
-	wl, err := buildWorkload(*workload, *w, *k)
+	wl, err := wf.Build(topo)
 	if err != nil {
 		return err
 	}
@@ -80,7 +76,7 @@ func runServeCmd(args []string) error {
 	g := topo.Graph()
 	metric := graph.FuncMetric(topo.Dist)
 	homes := make([]graph.NodeID, wl.W)
-	homeRng := xrand.NewDerived(rootSeed, "serve", "homes", *topoName)
+	homeRng := xrand.NewDerived(rootSeed, "serve", "homes", tf.Name)
 	for o := range homes {
 		homes[o] = g.Nodes()[homeRng.Intn(g.NumNodes())]
 	}
@@ -92,7 +88,7 @@ func runServeCmd(args []string) error {
 		NumObjects: wl.W,
 		Home:       homes,
 		Source: stream.NewGenerator(
-			xrand.NewDerived(rootSeed, "serve", "gen", *topoName), g, wl, *rate, *txns),
+			xrand.NewDerived(rootSeed, "serve", "gen", tf.Name), g, wl, *rate, *txns),
 		MaxWindow:     *window,
 		QueueCap:      *queue,
 		Policy:        pol,
@@ -111,7 +107,7 @@ func runServeCmd(args []string) error {
 	wall := time.Since(start)
 
 	fmt.Printf("serve %s: %d nodes, %d objects, workload %s, rate %.3g, policy %s, verify %s, seed %d\n",
-		*topoName, g.NumNodes(), wl.W, *workload, *rate, pol, vm, rootSeed)
+		tf.Name, g.NumNodes(), wl.W, wf.Name, *rate, pol, vm, rootSeed)
 	fmt.Printf("admitted=%d rejected=%d blocked=%d committed=%d windows=%d\n",
 		res.Admitted, res.Rejected, res.Blocked, res.Committed, res.Windows)
 	fmt.Printf("clock=%d steps throughput=%.4f txn/step comm=%d queue_peak=%d\n",
@@ -134,7 +130,7 @@ func runServeCmd(args []string) error {
 		fmt.Printf("wrote %s\n", *prom)
 	}
 	if *ledger != "" {
-		if err := appendServeRecord(*ledger, *topoName, *workload, fs, rootSeed, res, col, wall); err != nil {
+		if err := appendServeRecord(*ledger, tf.Name, wf.Name, fs, rootSeed, res, col, wall); err != nil {
 			return err
 		}
 		fmt.Printf("appended run record to %s\n", *ledger)
@@ -150,7 +146,8 @@ func appendServeRecord(path, topoName, workload string, fs *flag.FlagSet, rootSe
 	res *stream.Result, col *obs.Collector, wall time.Duration) error {
 	config := map[string]string{"topo": topoName, "workload": workload}
 	for _, name := range []string{"n", "side", "dim", "alpha", "beta", "gamma",
-		"w", "k", "rate", "txns", "window", "queue", "policy", "verify"} {
+		"fanout", "linkw", "w", "k", "locality",
+		"rate", "txns", "window", "queue", "policy", "verify"} {
 		config[name] = fs.Lookup(name).Value.String()
 	}
 	config["seed"] = fmt.Sprint(rootSeed)

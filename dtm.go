@@ -25,6 +25,7 @@ import (
 	"dtmsched/internal/core"
 	"dtmsched/internal/engine"
 	"dtmsched/internal/graph"
+	"dtmsched/internal/hier"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
 	"dtmsched/internal/xrand"
@@ -66,6 +67,10 @@ const (
 	AlgStarGreedy Algorithm = "star1"
 	// AlgStarRandom forces star Approach 2 per period.
 	AlgStarRandom Algorithm = "star2"
+	// AlgHier is the hierarchical fog–cloud scheduler: subtree-sharded
+	// local scheduling plus a top-level cross-tier merge pass (the
+	// poly-log fog–cloud extension; requires a fog–cloud topology).
+	AlgHier Algorithm = "hier"
 	// AlgSequential is the global-lock baseline.
 	AlgSequential Algorithm = "sequential"
 	// AlgList is the FIFO list-scheduling baseline.
@@ -78,27 +83,64 @@ const (
 func Algorithms() []Algorithm {
 	return []Algorithm{AlgAuto, AlgGreedy, AlgLine, AlgGrid, AlgCluster,
 		AlgClusterGreedy, AlgClusterRandom, AlgStar, AlgStarGreedy,
-		AlgStarRandom, AlgSequential, AlgList, AlgRandomOrder}
+		AlgStarRandom, AlgHier, AlgSequential, AlgList, AlgRandomOrder}
 }
 
 // Workload describes how transactions pick their object sets; construct
-// one with Uniform, Zipf, Hotspot, Partitioned, Neighborhood, or
-// SingleObject.
-type Workload struct{ w tm.Workload }
+// one with Uniform, Zipf, Hotspot, SingleObject, Localized, or
+// WrapWorkload.
+type Workload struct {
+	w tm.Workload
+	// build defers resolution to system construction for workloads whose
+	// shape depends on the topology (Localized's fog-subtree groups).
+	build func(topology.Topology) (tm.Workload, error)
+}
 
 // Uniform gives every transaction a uniformly random k-subset of w objects
 // (the Grid problem's input model).
-func Uniform(w, k int) Workload { return Workload{tm.UniformK(w, k)} }
+func Uniform(w, k int) Workload { return Workload{w: tm.UniformK(w, k)} }
 
 // Zipf skews object popularity (hot objects requested far more often).
-func Zipf(w, k int) Workload { return Workload{tm.ZipfK(w, k)} }
+func Zipf(w, k int) Workload { return Workload{w: tm.ZipfK(w, k)} }
 
 // Hotspot makes all transactions share object 0 plus k−1 uniform others.
-func Hotspot(w, k int) Workload { return Workload{tm.HotspotK(w, k)} }
+func Hotspot(w, k int) Workload { return Workload{w: tm.HotspotK(w, k)} }
 
 // SingleObject is the classic one-shared-object workload of earlier
 // data-flow literature.
-func SingleObject() Workload { return Workload{tm.SingleObject()} }
+func SingleObject() Workload { return Workload{w: tm.SingleObject()} }
+
+// WrapWorkload adapts a raw internal workload — e.g. tm.LocalizedK,
+// whose subtree groups are derived from a fog–cloud topology — for the
+// System constructors. Like System.Instance, this is an advanced-use
+// escape hatch into the internal model.
+func WrapWorkload(w tm.Workload) Workload { return Workload{w: w} }
+
+// Localized interpolates between fully subtree-local and uniform object
+// draws on a fog–cloud system: each of a transaction's k picks stays
+// inside its node's fog-subtree object group with probability locality,
+// and is uniform over all w objects otherwise. Valid only with
+// NewFogCloudSystem (whose fog tier defines the groups); construction
+// panics on any other topology, mirroring the other workloads'
+// invalid-parameter panics.
+func Localized(w, k int, locality float64) Workload {
+	return Workload{build: func(topo topology.Topology) (tm.Workload, error) {
+		fc, ok := topo.(*topology.FogCloud)
+		if !ok {
+			return tm.Workload{}, fmt.Errorf("dtm: the Localized workload needs a fog–cloud system, not %s", topo.Kind())
+		}
+		groups := fc.TierSize(1)
+		if w%groups != 0 {
+			return tm.Workload{}, fmt.Errorf("dtm: Localized w=%d not divisible by the %d fog subtrees", w, groups)
+		}
+		return tm.LocalizedK(w, k, groups, locality, func(node graph.NodeID) int {
+			if fc.TierOf(node) < 1 {
+				return -1 // the cloud root draws uniformly
+			}
+			return int(fc.Ancestor(node, 1)) - int(fc.TierStart(1))
+		}), nil
+	}}
+}
 
 // Options configures system construction.
 type Options struct {
@@ -114,6 +156,12 @@ type Options struct {
 	// back to graph shortest paths (butterfly) when the graph has at
 	// most tm.AutoPrecomputeNodes nodes.
 	Precompute bool
+	// HierTier selects the hierarchical scheduler's shard tier on
+	// fog–cloud systems (0 picks the fog tier, tier 1).
+	HierTier int
+	// HierWorkers bounds the hierarchical scheduler's shard worker pool
+	// (0 picks GOMAXPROCS). Schedules are byte-identical at every value.
+	HierWorkers int
 }
 
 // Option mutates Options.
@@ -142,12 +190,28 @@ func PrecomputeDistances() Option {
 	return func(o *Options) { o.Precompute = true }
 }
 
+// HierTier selects the shard tier of the hierarchical scheduler on
+// fog–cloud systems: subtrees rooted at that tier schedule their local
+// conflicts independently. The default (tier 1) shards by the fog tier.
+func HierTier(tier int) Option {
+	return func(o *Options) { o.HierTier = tier }
+}
+
+// HierShardWorkers bounds the hierarchical scheduler's parallel shard
+// pool. The schedule is byte-identical at every worker count; the knob
+// only trades wall time.
+func HierShardWorkers(n int) Option {
+	return func(o *Options) { o.HierWorkers = n }
+}
+
 // System is a topology plus a generated problem instance, ready to
 // schedule.
 type System struct {
-	topo topology.Topology
-	in   *tm.Instance
-	seed int64
+	topo        topology.Topology
+	in          *tm.Instance
+	seed        int64
+	hierTier    int
+	hierWorkers int
 }
 
 func newSystem(topo topology.Topology, w Workload, opts []Option) *System {
@@ -164,13 +228,20 @@ func newSystem(topo topology.Topology, w Workload, opts []Option) *System {
 	if topology.MetricFallsBackToGraph(topo) {
 		metric = g
 	}
-	in := w.w.Generate(rng, g, metric, g.Nodes(), o.Placement)
+	wk := w.w
+	if w.build != nil {
+		var err error
+		if wk, err = w.build(topo); err != nil {
+			panic(err)
+		}
+	}
+	in := wk.Generate(rng, g, metric, g.Nodes(), o.Placement)
 	if o.Precompute {
 		in.PrecomputeDist(0)
 	} else {
 		in.PrecomputeDistAuto(0)
 	}
-	return &System{topo: topo, in: in, seed: o.Seed}
+	return &System{topo: topo, in: in, seed: o.Seed, hierTier: o.HierTier, hierWorkers: o.HierWorkers}
 }
 
 // NewCliqueSystem builds a system on the complete graph K_n.
@@ -232,6 +303,14 @@ func NewTreeSystem(branching, depth int, w Workload, opts ...Option) *System {
 // given per-dimension sizes (Section 3.1's log n-dimensional grids).
 func NewMultiGridSystem(dims []int, w Workload, opts ...Option) *System {
 	return newSystem(topology.NewMultiGrid(dims...), w, opts)
+}
+
+// NewFogCloudSystem builds a system on the hierarchical edge–fog–cloud
+// tree: tier t nodes have fanout[t] children each, reached over links of
+// weight linkWeights[t] (the fog–cloud extension topology, scheduled
+// hierarchically by subtree shards).
+func NewFogCloudSystem(fanout []int, linkWeights []int64, w Workload, opts ...Option) *System {
+	return newSystem(topology.NewFogCloud(fanout, linkWeights), w, opts)
 }
 
 // Topology returns the system's topology kind name.
@@ -349,6 +428,8 @@ func (s *System) scheduler(alg Algorithm) (core.Scheduler, error) {
 			return &core.Cluster{Topo: t, Rng: rng("cluster")}, nil
 		case *topology.Star:
 			return &core.Star{Topo: t, Rng: rng("star")}, nil
+		case *topology.FogCloud:
+			return &hier.Scheduler{Topo: t, Tier: s.hierTier, Workers: s.hierWorkers}, nil
 		default:
 			return &core.Greedy{}, nil
 		}
@@ -392,6 +473,12 @@ func (s *System) scheduler(alg Algorithm) (core.Scheduler, error) {
 			ap = core.ClusterApproach2
 		}
 		return &core.Star{Topo: t, Rng: rng("star"), Approach: ap}, nil
+	case AlgHier:
+		t, ok := s.topo.(*topology.FogCloud)
+		if !ok {
+			return nil, fmt.Errorf("dtm: %s requires a fogcloud topology, have %s", alg, s.Topology())
+		}
+		return &hier.Scheduler{Topo: t, Tier: s.hierTier, Workers: s.hierWorkers}, nil
 	case AlgSequential:
 		return baseline.Sequential{}, nil
 	case AlgList:

@@ -1,6 +1,7 @@
 package dtmsched_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -29,6 +30,11 @@ func TestEveryAlgorithmOnItsTopology(t *testing.T) {
 		{"star/auto-sel", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStar},
 		{"star/a1", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStarGreedy},
 		{"star/a2", dtm.NewStarSystem(4, 7, dtm.Uniform(8, 2)), dtm.AlgStarRandom},
+		{"fogcloud/hier", dtm.NewFogCloudSystem([]int{3, 4}, []int64{6, 1}, dtm.Uniform(12, 2)), dtm.AlgHier},
+		{"fogcloud/auto", dtm.NewFogCloudSystem([]int{3, 4}, []int64{6, 1}, dtm.Uniform(12, 2)), dtm.AlgAuto},
+		{"fogcloud/tier2", dtm.NewFogCloudSystem([]int{2, 2, 2}, []int64{8, 2, 1}, dtm.Uniform(10, 2),
+			dtm.HierTier(2), dtm.HierShardWorkers(2)), dtm.AlgHier},
+		{"fogcloud/greedy", dtm.NewFogCloudSystem([]int{3, 4}, []int64{6, 1}, dtm.Uniform(12, 2)), dtm.AlgGreedy},
 		{"baseline/seq", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgSequential},
 		{"baseline/list", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgList},
 		{"baseline/random", dtm.NewCliqueSystem(16, dtm.Uniform(8, 2)), dtm.AlgRandomOrder},
@@ -104,6 +110,36 @@ func TestPlacementOptions(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+func TestLocalizedWorkload(t *testing.T) {
+	mk := func(workers int) *dtm.System {
+		return dtm.NewFogCloudSystem([]int{4, 8}, []int64{8, 1}, dtm.Localized(64, 2, 0.9),
+			dtm.Seed(42), dtm.HierShardWorkers(workers))
+	}
+	r1, err := mk(1).Run(dtm.AlgHier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := mk(8).Run(dtm.AlgHier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r8.Makespan || r1.CommCost != r8.CommCost {
+		t.Fatalf("shard-worker counts diverged: makespan %d vs %d, comm %d vs %d",
+			r1.Makespan, r8.Makespan, r1.CommCost, r8.CommCost)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Localized on a clique should panic at construction")
+		}
+		if !strings.Contains(strings.ToLower(fmt.Sprint(r)), "fog") {
+			t.Fatalf("panic message %v does not name the fog–cloud requirement", r)
+		}
+	}()
+	dtm.NewCliqueSystem(16, dtm.Localized(16, 2, 0.5))
 }
 
 func TestSystemAccessors(t *testing.T) {

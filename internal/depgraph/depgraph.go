@@ -69,11 +69,13 @@ type Options struct {
 	// 1 forces the serial path. The built graph is byte-identical for
 	// every worker count.
 	Workers int
-	// Index supplies the object → member-transaction index to enumerate
+	// Index supplies the object → member-transaction source to enumerate
 	// conflicts from. Nil uses the instance's own cached Index(). Callers
 	// with an evolving member set (the windows extension) pass their
-	// incrementally maintained index here.
-	Index *tm.ConflictIndex
+	// incrementally maintained *tm.ConflictIndex here; the hierarchical
+	// scheduler passes one tm.ShardView per subtree so each shard's build
+	// sees only its own members without copying the index.
+	Index tm.MemberSource
 }
 
 // serialThreshold is the member count below which the auto policy builds

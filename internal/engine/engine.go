@@ -182,6 +182,11 @@ type Timing struct {
 	// Star build one per tile/period). Zero when the scheduler reports no
 	// build instrumentation (baselines, precomputed schedules).
 	DepGraphBuild time.Duration
+	// HierShard and HierMerge split the hierarchical scheduler's Schedule
+	// stage: the parallel per-subtree local phase versus the top-level
+	// cross-tier merge pass. Zero for every other scheduler.
+	HierShard time.Duration
+	HierMerge time.Duration
 	// Total is the whole pipeline, including stage bookkeeping.
 	Total time.Duration
 }
@@ -323,6 +328,19 @@ func run(ctx context.Context, idx int, job Job, hook Hook, col *obs.Collector) (
 		rep.Timing.DepGraphBuild = time.Duration(ns)
 		col.DepGraphBuild(rep.Stats)
 		delete(rep.Stats, "depgraph_build_ns")
+	}
+	if _, ok := rep.Stats["hier_shards"]; ok {
+		// Same treatment for the hierarchical scheduler's phase wall
+		// clocks: record them, then move them out of Stats into Timing.
+		col.Hier(rep.Stats)
+		if ns, ok := rep.Stats["hier_shard_wall_ns"]; ok {
+			rep.Timing.HierShard = time.Duration(ns)
+			delete(rep.Stats, "hier_shard_wall_ns")
+		}
+		if ns, ok := rep.Stats["hier_merge_wall_ns"]; ok {
+			rep.Timing.HierMerge = time.Duration(ns)
+			delete(rep.Stats, "hier_merge_wall_ns")
+		}
 	}
 	emit(StageSchedule, rep.Timing.Schedule, nil, nil)
 

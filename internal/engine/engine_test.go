@@ -14,6 +14,7 @@ import (
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
 	"dtmsched/internal/graph"
+	"dtmsched/internal/hier"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/tm"
 	"dtmsched/internal/topology"
@@ -424,5 +425,56 @@ func TestSharedInstance(t *testing.T) {
 		if r.Makespan != solo.Makespan || r.CommCost != solo.CommCost {
 			t.Errorf("%s: %d/%d, want %d/%d", r.Name, r.Makespan, r.CommCost, solo.Makespan, solo.CommCost)
 		}
+	}
+}
+
+// TestHierTimingExtraction checks the hierarchical scheduler's phase wall
+// clocks are moved out of the deterministic Stats map into Timing, and the
+// hier registry metrics fill in.
+func TestHierTimingExtraction(t *testing.T) {
+	col := obs.NewMetricsCollector()
+	fc := topology.NewFogCloud([]int{4, 8}, []int64{8, 1})
+	gen := func() (*tm.Instance, error) {
+		rng := xrand.NewDerived(3, "engine-test", "hier")
+		in := tm.UniformK(32, 2).Generate(rng, fc.Graph(), fc, fc.Graph().Nodes(), tm.PlaceAtRandomUser)
+		return in, nil
+	}
+	rep, err := Run(context.Background(), Job{
+		Name: "h", Gen: gen, Scheduler: &hier.Scheduler{Topo: fc}, Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hier_shard_wall_ns", "hier_merge_wall_ns"} {
+		if _, ok := rep.Stats[key]; ok {
+			t.Errorf("wall-clock %s leaked into deterministic Stats", key)
+		}
+	}
+	if rep.Timing.HierShard <= 0 {
+		t.Errorf("Timing.HierShard = %v, want > 0", rep.Timing.HierShard)
+	}
+	if rep.Stats["hier_shards"] != 4 {
+		t.Errorf("hier_shards = %d, want 4", rep.Stats["hier_shards"])
+	}
+	reg := col.Registry()
+	if got := reg.Counter("hier_runs_total").Value(); got != 1 {
+		t.Errorf("hier_runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("hier_local_txns_total").Value() + reg.Counter("hier_cross_txns_total").Value(); got != int64(fc.Graph().NumNodes()) {
+		t.Errorf("local+cross txn totals = %d, want %d", got, fc.Graph().NumNodes())
+	}
+
+	// Non-hier schedulers leave the hier timing and metrics untouched.
+	rep2, err := Run(context.Background(), Job{
+		Name: "g", Gen: cliqueGen(32, 8, 2, 7), Scheduler: &core.Greedy{}, Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Timing.HierShard != 0 || rep2.Timing.HierMerge != 0 {
+		t.Errorf("greedy run carries hier timing: %+v", rep2.Timing)
+	}
+	if got := reg.Counter("hier_runs_total").Value(); got != 1 {
+		t.Errorf("greedy run incremented hier_runs_total to %d", got)
 	}
 }

@@ -86,6 +86,10 @@ type Config struct {
 	// direct bound queries alike. Nil scopes a fresh oracle to each
 	// engine batch instead (direct queries then compute uncached).
 	LowerOracle *lower.Oracle
+	// HierWorkers bounds the hierarchical scheduler's shard worker pool
+	// in E22 (0 = GOMAXPROCS, 1 = serial). Purely a performance knob:
+	// hierarchical schedules are byte-identical at every worker count.
+	HierWorkers int
 }
 
 // bound returns the certified lower bound for in, through the shared

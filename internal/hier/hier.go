@@ -1,0 +1,247 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtmsched/internal/core"
+	"dtmsched/internal/depgraph"
+	"dtmsched/internal/graph"
+	"dtmsched/internal/schedule"
+	"dtmsched/internal/tm"
+	"dtmsched/internal/topology"
+)
+
+// Scheduler is the hierarchical fog–cloud scheduler. It implements
+// core.Scheduler over instances generated on a topology.FogCloud tree.
+//
+// The schedule is built in two phases. The local phase decomposes the
+// instance at the shard tier and schedules each subtree's local
+// transactions independently: one dependency-graph CSR per shard, built
+// over that shard's tm.ShardView of the conflict index, greedily colored
+// and shifted by the exact per-shard offset that lets every local object
+// reach its first requester from its home. Shards own disjoint node and
+// object sets, so their sub-schedules overlap in time instead of
+// serializing. The merge phase then schedules the cross-tier transactions:
+// one dependency graph over the cross set (whose conflicts — cross–cross on
+// any shared object — are exactly the cross member groups of the
+// partitioned index), colored and shifted by the single offset that
+// respects every release point the local phase left behind.
+type Scheduler struct {
+	// Topo is the fog–cloud tree the instance was generated on. Required.
+	Topo *topology.FogCloud
+	// Tier is the shard tier: subtrees rooted at tier Tier become shards.
+	// 0 picks tier 1 (the fog tier, one shard per cloud child); explicit
+	// values must lie in [1, Topo.Tiers()).
+	Tier int
+	// Workers bounds the local phase's shard worker pool: 0 picks
+	// GOMAXPROCS, 1 forces serial. The schedule is byte-identical at every
+	// worker count — shards compute into private slots and write disjoint
+	// transaction and object entries.
+	Workers int
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return "hier" }
+
+// shardOut is one shard's private result slot.
+type shardOut struct {
+	built bool
+	info  depgraph.BuildInfo
+	span  int64 // completion step of the shard's sub-schedule
+}
+
+// firstUse tracks an object's earliest use inside one batch.
+type firstUse struct {
+	t    int64
+	node graph.NodeID
+}
+
+// Schedule implements core.Scheduler.
+func (s *Scheduler) Schedule(in *tm.Instance) (*core.Result, error) {
+	if s.Topo == nil {
+		return nil, errors.New("hier: scheduler needs its fog–cloud topology")
+	}
+	tier := s.Tier
+	if tier == 0 {
+		tier = 1
+	}
+	if tier < 1 || tier >= s.Topo.Tiers() {
+		return nil, fmt.Errorf("hier: shard tier %d outside [1, %d)", tier, s.Topo.Tiers())
+	}
+	d := Decompose(s.Topo, in, tier)
+	pv := in.Index().Partition(d.Shards+1, d.TxnShard)
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.Shards {
+		workers = d.Shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	sched := schedule.New(in.NumTxns())
+	// Per-object release points after the local phase. Each object is
+	// touched by at most one shard (locality invariant), so shard workers
+	// write disjoint entries.
+	relT := make([]int64, in.NumObjects)
+	relN := make([]graph.NodeID, in.NumObjects)
+	copy(relN, in.Home)
+
+	outs := make([]shardOut, d.Shards)
+	shardStart := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= d.Shards {
+					return
+				}
+				scheduleShard(in, d, pv, si, sched, &outs[si], relT, relN)
+			}
+		}()
+	}
+	wg.Wait()
+	shardWall := time.Since(shardStart)
+
+	// Merge phase: cross-tier transactions after the local release points.
+	mergeStart := time.Now()
+	var mergeOut shardOut
+	if len(d.Cross) > 0 {
+		h := depgraph.BuildOpts(in, d.Cross, depgraph.Options{Workers: workers, Index: pv.View(d.Shards)})
+		local := h.GreedyColor(h.OrderByNode(in))
+		first := make(map[tm.ObjectID]firstUse)
+		for i, id := range d.Cross {
+			node := in.Txns[id].Node
+			for _, o := range in.Txns[id].Objects {
+				if fu, ok := first[o]; !ok || local[i] < fu.t {
+					first[o] = firstUse{t: local[i], node: node}
+				}
+			}
+		}
+		var delta int64
+		for o, fu := range first {
+			if need := relT[o] + in.Dist(relN[o], fu.node) - fu.t; need > delta {
+				delta = need
+			}
+		}
+		for i, id := range d.Cross {
+			sched.Times[id] = local[i] + delta
+			if t := sched.Times[id]; t > mergeOut.span {
+				mergeOut.span = t
+			}
+		}
+		mergeOut.built = true
+		mergeOut.info = h.Info()
+	}
+	mergeWall := time.Since(mergeStart)
+
+	r := &core.Result{
+		Schedule:  sched,
+		Makespan:  sched.Makespan(),
+		Algorithm: s.Name(),
+		Stats:     map[string]int64{},
+	}
+	var localSpan int64
+	for si := range outs {
+		if outs[si].span > localSpan {
+			localSpan = outs[si].span
+		}
+	}
+	r.Stats["hier_shards"] = int64(d.Shards)
+	r.Stats["hier_tier"] = int64(d.Tier)
+	r.Stats["hier_local_txns"] = int64(d.LocalTxns())
+	r.Stats["hier_cross_txns"] = int64(len(d.Cross))
+	r.Stats["hier_cross_objects"] = int64(d.CrossObjects)
+	r.Stats["hier_max_shard_txns"] = int64(d.MaxShardTxns())
+	r.Stats["hier_local_span"] = localSpan
+	r.Stats["hier_merge_span"] = mergeOut.span
+	// Wall-clock keys are the only nondeterministic stats; the engine moves
+	// them into Timing (like depgraph_build_ns) so Report.Stats stays
+	// byte-identical at every worker count.
+	r.Stats["hier_shard_wall_ns"] = int64(shardWall)
+	r.Stats["hier_merge_wall_ns"] = int64(mergeWall)
+	// Conflict-graph build accounting, accumulated in shard order (the
+	// depgraph_* keys the engine and observability layers read).
+	for si := range outs {
+		addBuildStats(r.Stats, outs[si])
+	}
+	addBuildStats(r.Stats, mergeOut)
+
+	if err := sched.Validate(in); err != nil {
+		return nil, fmt.Errorf("hier: produced an infeasible schedule: %w", err)
+	}
+	if err := CrossCheck(d, in, sched); err != nil {
+		return nil, fmt.Errorf("hier: merged schedule fails the cross-check: %w", err)
+	}
+	return r, nil
+}
+
+// scheduleShard schedules shard si's local transactions into sched and
+// advances the release points of the shard's (private) local objects.
+func scheduleShard(in *tm.Instance, d *Decomposition, pv *tm.PartitionedView, si int,
+	sched *schedule.Schedule, out *shardOut, relT []int64, relN []graph.NodeID) {
+	ids := d.Local[si]
+	if len(ids) == 0 {
+		return
+	}
+	// Inner builds run serially: parallelism lives at the shard level.
+	h := depgraph.BuildOpts(in, ids, depgraph.Options{Workers: 1, Index: pv.View(si)})
+	local := h.GreedyColor(h.OrderByNode(in))
+
+	// Exact home-travel offset: every local object must reach its first
+	// requester from its home. Local objects are shard-private, so shards
+	// shift independently and overlap in global time.
+	first := make(map[tm.ObjectID]firstUse)
+	for i, id := range ids {
+		node := in.Txns[id].Node
+		for _, o := range in.Txns[id].Objects {
+			if fu, ok := first[o]; !ok || local[i] < fu.t {
+				first[o] = firstUse{t: local[i], node: node}
+			}
+		}
+	}
+	var delta int64
+	for o, fu := range first {
+		if need := in.Dist(in.Home[o], fu.node) - fu.t; need > delta {
+			delta = need
+		}
+	}
+	for i, id := range ids {
+		t := local[i] + delta
+		sched.Times[id] = t
+		if t > out.span {
+			out.span = t
+		}
+		for _, o := range in.Txns[id].Objects {
+			if t > relT[o] {
+				relT[o] = t
+				relN[o] = in.Txns[id].Node
+			}
+		}
+	}
+	out.built = true
+	out.info = h.Info()
+}
+
+// addBuildStats accumulates one build's instrumentation under the
+// depgraph_* keys shared with internal/core.
+func addBuildStats(stats map[string]int64, out shardOut) {
+	if !out.built {
+		return
+	}
+	stats["depgraph_builds"]++
+	stats["depgraph_build_ns"] += int64(out.info.Duration)
+	stats["depgraph_edges"] += out.info.Edges
+}

@@ -133,6 +133,35 @@ func (c *Collector) DepGraphBuild(stats map[string]int64) {
 	}
 }
 
+// Hier records one hierarchical-scheduler run from its stats map (the
+// hier_* keys written by internal/hier): phase wall times and local/cross
+// transaction totals as counters, plus per-run distributions of shard
+// count, largest shard, and the cross-tier conflict fraction (in integer
+// percent of transactions classified cross). A stats map without
+// hier_shards is a no-op, as is a nil collector.
+func (c *Collector) Hier(stats map[string]int64) {
+	if c == nil {
+		return
+	}
+	shards, ok := stats["hier_shards"]
+	if !ok {
+		return
+	}
+	local, cross := stats["hier_local_txns"], stats["hier_cross_txns"]
+	c.reg.Counter("hier_runs_total").Inc()
+	c.reg.Counter("hier_local_txns_total").Add(local)
+	c.reg.Counter("hier_cross_txns_total").Add(cross)
+	c.reg.Counter("hier_shard_wall_ns_total").Add(stats["hier_shard_wall_ns"])
+	c.reg.Counter("hier_merge_wall_ns_total").Add(stats["hier_merge_wall_ns"])
+	c.reg.Histogram("hier_shards", nil).Observe(shards)
+	c.reg.Histogram("hier_max_shard_txns", nil).Observe(stats["hier_max_shard_txns"])
+	c.reg.Histogram("hier_shard_wall_us", nil).Observe(stats["hier_shard_wall_ns"] / 1000)
+	c.reg.Histogram("hier_merge_wall_us", nil).Observe(stats["hier_merge_wall_ns"] / 1000)
+	if total := local + cross; total > 0 {
+		c.reg.Histogram("hier_cross_fraction_pct", nil).Observe(100 * cross / total)
+	}
+}
+
 // LowerBound records one Measure-stage certified-bound query: cache hits
 // versus fresh computations as counters, plus compute wall time and the
 // bound's exact-vs-MST per-object split as histograms (computations

@@ -23,6 +23,7 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 		c.Stage(0, "job", "verify", time.Millisecond, err)
 		c.RecordRun(0, "job", "alg", in, s, nil)
 		c.DepGraphBuild(stats)
+		c.Hier(stats)
 		c.Fault(fr)
 		c.LowerBound(false, time.Millisecond, lb)
 		c.LowerBound(true, 0, lb)
@@ -188,5 +189,39 @@ func TestMaxTraceRuns(t *testing.T) {
 	}
 	if runs[0].Job != 0 || runs[1].Job != 1 {
 		t.Errorf("retained jobs %d,%d — want 0,1", runs[0].Job, runs[1].Job)
+	}
+}
+
+func TestCollectorHier(t *testing.T) {
+	c := NewMetricsCollector()
+	// A stats map without hier_shards (every other scheduler) is a no-op.
+	c.Hier(map[string]int64{"makespan": 10})
+	c.Hier(map[string]int64{
+		"hier_shards": 4, "hier_local_txns": 30, "hier_cross_txns": 10,
+		"hier_max_shard_txns": 12, "hier_shard_wall_ns": 2_000_000, "hier_merge_wall_ns": 1_000_000,
+	})
+	c.Hier(map[string]int64{
+		"hier_shards": 8, "hier_local_txns": 50, "hier_cross_txns": 0,
+		"hier_max_shard_txns": 9, "hier_shard_wall_ns": 3_000_000,
+	})
+	reg := c.Registry()
+	if got := reg.Counter("hier_runs_total").Value(); got != 2 {
+		t.Errorf("hier_runs_total = %d, want 2", got)
+	}
+	if got := reg.Counter("hier_local_txns_total").Value(); got != 80 {
+		t.Errorf("hier_local_txns_total = %d, want 80", got)
+	}
+	if got := reg.Counter("hier_cross_txns_total").Value(); got != 10 {
+		t.Errorf("hier_cross_txns_total = %d, want 10", got)
+	}
+	if got := reg.Counter("hier_shard_wall_ns_total").Value(); got != 5_000_000 {
+		t.Errorf("hier_shard_wall_ns_total = %d, want 5000000", got)
+	}
+	if h := reg.Histogram("hier_shards", nil); h.Count() != 2 || h.Sum() != 12 {
+		t.Errorf("hier_shards histogram count=%d sum=%d, want 2/12", h.Count(), h.Sum())
+	}
+	// Cross fractions: 10/40 → 25%, 0/50 → 0%.
+	if h := reg.Histogram("hier_cross_fraction_pct", nil); h.Count() != 2 || h.Sum() != 25 {
+		t.Errorf("cross fraction histogram count=%d sum=%d, want 2/25", h.Count(), h.Sum())
 	}
 }

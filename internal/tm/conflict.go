@@ -1,6 +1,9 @@
 package tm
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // ConflictIndex is the shared object → member-transaction index: for every
 // object o it lists, in ascending TxnID order, the transactions requesting
@@ -35,6 +38,24 @@ func IndexTxns(numObjects int, txns []Txn) *ConflictIndex {
 	}
 	return ci
 }
+
+// MemberSource is the read-only view of conflict membership that
+// consumers accept (the dependency-graph builder in particular): the
+// object count plus each object's member transactions in ascending ID
+// order. *ConflictIndex implements it directly; ShardView implements it
+// for one shard of a PartitionedView.
+type MemberSource interface {
+	// NumObjects returns the number of objects the source covers.
+	NumObjects() int
+	// Members returns the transactions requesting object o, ascending by
+	// ID. The slice aliases the source's storage: read-only.
+	Members(o ObjectID) []TxnID
+}
+
+var (
+	_ MemberSource = (*ConflictIndex)(nil)
+	_ MemberSource = ShardView{}
+)
 
 // NumObjects returns the number of objects the index covers.
 func (ci *ConflictIndex) NumObjects() int { return len(ci.members) }
@@ -71,6 +92,101 @@ func (ci *ConflictIndex) Add(id TxnID, objects []ObjectID) {
 		ci.members[o] = ms
 	}
 }
+
+// PartitionedView regroups a ConflictIndex's member lists by shard
+// without copying instances: one flat backing array holds every (object,
+// shard) member group contiguously, so ShardView.Members is a
+// zero-allocation subslice lookup and building the view costs one pass
+// over the index. The hierarchical scheduler (internal/hier) builds one
+// view per decomposition and hands each shard's ShardView to the
+// dependency-graph builder in place of the full index.
+//
+// The view is a snapshot: later Add/Remove calls on the source index are
+// not reflected.
+type PartitionedView struct {
+	shards     int
+	numObjects int
+	flat       []TxnID
+	// off indexes the flat array: the members of object o assigned to
+	// shard s occupy flat[off[o·shards+s]:off[o·shards+s+1]].
+	off []int32
+}
+
+// Partition splits the index's member lists into shards groups according
+// to shardOf, which maps every member TxnID to its shard in [0, shards).
+// Within each (object, shard) group the ascending-ID member order of the
+// source index is preserved.
+func (ci *ConflictIndex) Partition(shards int, shardOf []int) *PartitionedView {
+	if shards < 1 {
+		panic(fmt.Sprintf("tm: partition into %d shards", shards))
+	}
+	w := len(ci.members)
+	pv := &PartitionedView{shards: shards, numObjects: w, off: make([]int32, w*shards+1)}
+	var total int
+	for _, ms := range ci.members {
+		total += len(ms)
+	}
+	pv.flat = make([]TxnID, total)
+	// Counting pass: group sizes into off (shifted by one for the later
+	// prefix sum).
+	for o, ms := range ci.members {
+		for _, id := range ms {
+			s := shardOf[id]
+			if s < 0 || s >= shards {
+				panic(fmt.Sprintf("tm: transaction %d assigned to shard %d of %d", id, s, shards))
+			}
+			pv.off[o*shards+s+1]++
+		}
+	}
+	for i := 1; i < len(pv.off); i++ {
+		pv.off[i] += pv.off[i-1]
+	}
+	// Scatter pass, stable within each group.
+	cur := make([]int32, w*shards)
+	copy(cur, pv.off[:w*shards])
+	for o, ms := range ci.members {
+		for _, id := range ms {
+			g := o*shards + shardOf[id]
+			pv.flat[cur[g]] = id
+			cur[g]++
+		}
+	}
+	return pv
+}
+
+// Shards returns the number of shards the view was built with.
+func (pv *PartitionedView) Shards() int { return pv.shards }
+
+// NumObjects returns the number of objects the view covers.
+func (pv *PartitionedView) NumObjects() int { return pv.numObjects }
+
+// Members returns object o's members assigned to shard s, ascending by
+// ID. Zero-allocation; the slice aliases the view's storage.
+func (pv *PartitionedView) Members(s int, o ObjectID) []TxnID {
+	i := int(o)*pv.shards + s
+	return pv.flat[pv.off[i]:pv.off[i+1]]
+}
+
+// View returns shard s's MemberSource over the partitioned index.
+func (pv *PartitionedView) View(s int) ShardView {
+	if s < 0 || s >= pv.shards {
+		panic(fmt.Sprintf("tm: view of shard %d of %d", s, pv.shards))
+	}
+	return ShardView{pv: pv, shard: s}
+}
+
+// ShardView is one shard's read-only MemberSource over a PartitionedView.
+// The zero value is not usable; obtain one from PartitionedView.View.
+type ShardView struct {
+	pv    *PartitionedView
+	shard int
+}
+
+// NumObjects implements MemberSource.
+func (v ShardView) NumObjects() int { return v.pv.numObjects }
+
+// Members implements MemberSource: object o's members within this shard.
+func (v ShardView) Members(o ObjectID) []TxnID { return v.pv.Members(v.shard, o) }
 
 // Remove deregisters a transaction from each listed object. Removing an
 // absent member is a no-op. The freed capacity is retained, so a

@@ -264,6 +264,63 @@ func TestPartitionedKPanics(t *testing.T) {
 	PartitionedK(10, 2, 3, func(graph.NodeID) int { return 0 })
 }
 
+func TestLocalizedKExtremes(t *testing.T) {
+	assign := func(v graph.NodeID) int { return int(v) % 4 }
+	// locality=1 degenerates to a partitioned workload.
+	in := generate(t, LocalizedK(20, 2, 4, 1, assign), 16, PlaceAtRandomUser)
+	for i := range in.Txns {
+		grp := int(in.Txns[i].Node) % 4
+		for _, o := range in.Txns[i].Objects {
+			if int(o)/5 != grp {
+				t.Fatalf("locality=1: txn %d (group %d) picked object %d", i, grp, o)
+			}
+		}
+	}
+	// locality=0 draws escape the group: over 200 nodes some txn must pick
+	// an object outside its own fifth of the space.
+	in = generate(t, LocalizedK(20, 2, 4, 0, assign), 200, PlaceAtRandomUser)
+	escaped := false
+	for i := range in.Txns {
+		grp := int(in.Txns[i].Node) % 4
+		for _, o := range in.Txns[i].Objects {
+			if int(o)/5 != grp {
+				escaped = true
+			}
+		}
+	}
+	if !escaped {
+		t.Fatal("locality=0 never picked outside the group")
+	}
+	// Negative assignment means "no group": still k distinct valid objects.
+	in = generate(t, LocalizedK(20, 3, 4, 0.9, func(graph.NodeID) int { return -1 }), 32, PlaceAtRandomUser)
+	for i := range in.Txns {
+		seen := map[ObjectID]bool{}
+		for _, o := range in.Txns[i].Objects {
+			if o < 0 || int(o) >= 20 || seen[o] {
+				t.Fatalf("txn %d picked invalid/duplicate object %d", i, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestLocalizedKPanics(t *testing.T) {
+	for name, mk := range map[string]func(){
+		"indivisible": func() { LocalizedK(10, 2, 3, 0.5, func(graph.NodeID) int { return 0 }) },
+		"k>group":     func() { LocalizedK(8, 3, 4, 0.5, func(graph.NodeID) int { return 0 }) },
+		"locality>1":  func() { LocalizedK(8, 2, 4, 1.5, func(graph.NodeID) int { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
 func TestNeighborhoodKWindows(t *testing.T) {
 	n, w, win := 64, 64, 8
 	wl := NeighborhoodK(w, 2, n, win)

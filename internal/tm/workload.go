@@ -159,6 +159,52 @@ func PartitionedK(w, k, groups int, assign func(node graph.NodeID) int) Workload
 	}
 }
 
+// LocalizedK interpolates between PartitionedK and UniformK: the object
+// space splits into g equal groups, and each draw lands in the node's own
+// group (per assign) with probability locality, anywhere otherwise. Nodes
+// that assign maps below zero (e.g. fog–cloud nodes above the shard tier)
+// always draw uniformly. locality=1 with group-aligned assignment is fully
+// partitioned; locality=0 is uniform — the knob the hierarchical
+// scheduler's experiments sweep to trade local against cross conflicts.
+func LocalizedK(w, k, groups int, locality float64, assign func(node graph.NodeID) int) Workload {
+	if groups < 1 || w%groups != 0 {
+		panic(fmt.Sprintf("tm: %d objects not divisible into %d groups", w, groups))
+	}
+	per := w / groups
+	if k > per {
+		panic(fmt.Sprintf("tm: k=%d exceeds group size %d", k, per))
+	}
+	if locality < 0 || locality > 1 {
+		panic(fmt.Sprintf("tm: locality %g outside [0,1]", locality))
+	}
+	return Workload{
+		W: w, K: k, Name: fmt.Sprintf("localized(w=%d,k=%d,g=%d,p=%g)", w, k, groups, locality),
+		Pick: func(r *rand.Rand, node graph.NodeID) []ObjectID {
+			g := assign(node)
+			if g < 0 {
+				return toObjectIDs(xrand.SampleK(r, w, k))
+			}
+			base := g * per
+			picked := make(map[ObjectID]struct{}, k)
+			out := make([]ObjectID, 0, k)
+			for len(out) < k {
+				var o ObjectID
+				if r.Float64() < locality {
+					o = ObjectID(base + r.Intn(per))
+				} else {
+					o = ObjectID(r.Intn(w))
+				}
+				if _, dup := picked[o]; dup {
+					continue
+				}
+				picked[o] = struct{}{}
+				out = append(out, o)
+			}
+			return out
+		},
+	}
+}
+
 // NeighborhoodK draws each transaction's objects from a window of the
 // object space centered on the node's index, producing the bounded-walk
 // locality that makes the Line schedule interesting (objects travel at most

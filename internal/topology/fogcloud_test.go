@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"testing"
+
+	"dtmsched/internal/graph"
+)
+
+func TestFogCloudTierMembership(t *testing.T) {
+	// Cloud → 2 fog nodes → 3 edge nodes each: 1 + 2 + 6 = 9 nodes.
+	fc := NewFogCloud([]int{2, 3}, []int64{4, 1})
+	if got := fc.Graph().NumNodes(); got != 9 {
+		t.Fatalf("nodes = %d, want 9", got)
+	}
+	if fc.Tiers() != 3 {
+		t.Fatalf("tiers = %d, want 3", fc.Tiers())
+	}
+	if fc.Kind() != KindFogCloud || fc.Kind().String() != "fogcloud" {
+		t.Fatalf("Kind = %v (%q)", fc.Kind(), fc.Kind().String())
+	}
+	wantTiers := []struct {
+		tier  int
+		nodes []graph.NodeID
+	}{
+		{0, []graph.NodeID{0}},
+		{1, []graph.NodeID{1, 2}},
+		{2, []graph.NodeID{3, 4, 5, 6, 7, 8}},
+	}
+	for _, wt := range wantTiers {
+		got := fc.TierNodes(wt.tier)
+		if len(got) != len(wt.nodes) {
+			t.Fatalf("tier %d has %d nodes, want %d", wt.tier, len(got), len(wt.nodes))
+		}
+		for i, u := range wt.nodes {
+			if got[i] != u {
+				t.Fatalf("tier %d node %d = %d, want %d", wt.tier, i, got[i], u)
+			}
+			if fc.TierOf(u) != wt.tier {
+				t.Fatalf("TierOf(%d) = %d, want %d", u, fc.TierOf(u), wt.tier)
+			}
+		}
+	}
+	parents := map[graph.NodeID]graph.NodeID{0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1, 6: 2, 7: 2, 8: 2}
+	for u, p := range parents {
+		if fc.Parent(u) != p {
+			t.Fatalf("Parent(%d) = %d, want %d", u, fc.Parent(u), p)
+		}
+	}
+	for _, tc := range []struct {
+		u, v, lca graph.NodeID
+	}{{3, 5, 1}, {6, 8, 2}, {3, 6, 0}, {4, 4, 4}, {1, 5, 1}, {0, 8, 0}} {
+		if got := fc.LCA(tc.u, tc.v); got != tc.lca {
+			t.Fatalf("LCA(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.lca)
+		}
+	}
+	if fc.Ancestor(7, 1) != 2 || fc.Ancestor(7, 2) != 7 || fc.Ancestor(2, 1) != 2 {
+		t.Fatal("Ancestor walk wrong")
+	}
+	// Weighted distances: sibling edges 2, cross-subtree 2·(4+1) = 10.
+	for _, tc := range []struct {
+		u, v graph.NodeID
+		d    int64
+	}{{3, 4, 2}, {3, 6, 10}, {0, 3, 5}, {1, 2, 8}, {2, 5, 9}} {
+		if got := fc.Dist(tc.u, tc.v); got != tc.d {
+			t.Fatalf("Dist(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.d)
+		}
+	}
+}
+
+func TestFogCloudMetricAndDiameter(t *testing.T) {
+	for _, fc := range []*FogCloud{
+		NewFogCloud([]int{2, 3}, []int64{4, 1}),
+		NewFogCloud([]int{3, 2, 2}, []int64{9, 3, 1}),
+		NewFogCloud([]int{1, 4}, []int64{7, 2}), // path above the branching tier
+		NewFogCloud([]int{4}, []int64{5}),       // two tiers only
+		NewFogCloud([]int{1, 1}, []int64{3, 2}), // pure path
+	} {
+		checkMetric(t, fc)
+		checkDiameter(t, fc)
+	}
+}
+
+func TestFogCloudMetricProperties(t *testing.T) {
+	fc := NewFogCloud([]int{2, 2, 3}, []int64{8, 3, 1})
+	n := fc.Graph().NumNodes()
+	for u := 0; u < n; u++ {
+		if fc.Dist(graph.NodeID(u), graph.NodeID(u)) != 0 {
+			t.Fatalf("Dist(%d,%d) != 0", u, u)
+		}
+		for v := 0; v < n; v++ {
+			duv := fc.Dist(graph.NodeID(u), graph.NodeID(v))
+			if duv != fc.Dist(graph.NodeID(v), graph.NodeID(u)) {
+				t.Fatalf("asymmetric at (%d,%d)", u, v)
+			}
+			if u != v && duv < 1 {
+				t.Fatalf("Dist(%d,%d) = %d < 1", u, v, duv)
+			}
+			for x := 0; x < n; x++ {
+				if through := fc.Dist(graph.NodeID(u), graph.NodeID(x)) + fc.Dist(graph.NodeID(x), graph.NodeID(v)); duv > through {
+					t.Fatalf("triangle inequality fails: d(%d,%d)=%d > %d via %d", u, v, duv, through, x)
+				}
+			}
+		}
+	}
+}
+
+func TestFogCloudClosedFormMetric(t *testing.T) {
+	fc := NewFogCloud([]int{2, 4}, []int64{6, 1})
+	if MetricFallsBackToGraph(fc) {
+		t.Fatal("fogcloud has a closed-form metric; it must not fall back to graph search")
+	}
+}
+
+func TestFogCloudBadDims(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no levels":      func() { NewFogCloud(nil, nil) },
+		"zero fanout":    func() { NewFogCloud([]int{2, 0}, []int64{2, 1}) },
+		"zero weight":    func() { NewFogCloud([]int{2, 2}, []int64{2, 0}) },
+		"weight arity":   func() { NewFogCloud([]int{2, 2}, []int64{2}) },
+		"above ancestor": func() { NewFogCloud([]int{2}, []int64{1}).Ancestor(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

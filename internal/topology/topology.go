@@ -28,6 +28,7 @@ const (
 	KindTorus
 	KindLBGrid
 	KindLBTree
+	KindFogCloud
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +42,7 @@ var kindNames = map[Kind]string{
 	KindTorus:     "torus",
 	KindLBGrid:    "lbgrid",
 	KindLBTree:    "lbtree",
+	KindFogCloud:  "fogcloud",
 }
 
 // String returns the lowercase topology name.

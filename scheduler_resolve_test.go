@@ -7,6 +7,7 @@ import (
 
 	"dtmsched/internal/baseline"
 	"dtmsched/internal/core"
+	"dtmsched/internal/hier"
 )
 
 // smallSystems builds one tiny System per topology family, keyed by
@@ -20,6 +21,7 @@ func smallSystems() map[string]*System {
 		"hypercube": NewHypercubeSystem(3, w),
 		"cluster":   NewClusterSystem(2, 4, 8, w),
 		"star":      NewStarSystem(2, 4, w),
+		"fogcloud":  NewFogCloudSystem([]int{2, 3}, []int64{4, 1}, w),
 	}
 }
 
@@ -41,6 +43,7 @@ func TestSchedulerResolution(t *testing.T) {
 				"clique": isType[*core.Greedy], "line": isType[*core.Greedy],
 				"grid": isType[*core.Greedy], "hypercube": isType[*core.Greedy],
 				"cluster": isType[*core.Greedy], "star": isType[*core.Greedy],
+				"fogcloud": isType[*core.Greedy],
 			},
 		},
 		{
@@ -84,11 +87,17 @@ func TestSchedulerResolution(t *testing.T) {
 			wantErr: "requires a star topology",
 		},
 		{
+			alg:     AlgHier,
+			want:    map[string]func(*testing.T, core.Scheduler){"fogcloud": isType[*hier.Scheduler]},
+			wantErr: "requires a fogcloud topology",
+		},
+		{
 			alg: AlgSequential,
 			want: map[string]func(*testing.T, core.Scheduler){
 				"clique": isType[baseline.Sequential], "line": isType[baseline.Sequential],
 				"grid": isType[baseline.Sequential], "hypercube": isType[baseline.Sequential],
 				"cluster": isType[baseline.Sequential], "star": isType[baseline.Sequential],
+				"fogcloud": isType[baseline.Sequential],
 			},
 		},
 		{
@@ -97,6 +106,7 @@ func TestSchedulerResolution(t *testing.T) {
 				"clique": isType[baseline.List], "line": isType[baseline.List],
 				"grid": isType[baseline.List], "hypercube": isType[baseline.List],
 				"cluster": isType[baseline.List], "star": isType[baseline.List],
+				"fogcloud": isType[baseline.List],
 			},
 		},
 		{
@@ -105,6 +115,7 @@ func TestSchedulerResolution(t *testing.T) {
 				"clique": isType[baseline.Random], "line": isType[baseline.Random],
 				"grid": isType[baseline.Random], "hypercube": isType[baseline.Random],
 				"cluster": isType[baseline.Random], "star": isType[baseline.Random],
+				"fogcloud": isType[baseline.Random],
 			},
 		},
 		{
@@ -115,6 +126,7 @@ func TestSchedulerResolution(t *testing.T) {
 				"clique": isType[*core.Greedy], "hypercube": isType[*core.Greedy],
 				"line": isType[*core.Line], "grid": isType[*core.Grid],
 				"cluster": clusterApproach(core.ClusterAuto), "star": starApproach(core.ClusterAuto),
+				"fogcloud": isType[*hier.Scheduler],
 			},
 		},
 	}

@@ -122,6 +122,33 @@ done
 go run ./cmd/dtmsched bench gate "$serve_tmp/serve.jsonl" "$serve_tmp/serve.jsonl" >/dev/null
 rm -rf "$serve_tmp"
 
+echo "== hierarchical scheduler guards =="
+# The subtree-sharded scheduler writes disjoint slices of one schedule
+# from concurrent shard workers — the whole package must be race-clean —
+# and the partitioned ConflictIndex view's Members lookups must stay
+# zero-alloc (each shard's CSR build walks them in the hot path). The
+# fog–cloud generator's metric/tier tests ride along.
+go test -race ./internal/hier -count=1
+go test ./internal/tm -run 'TestPartitionedViewZeroAlloc' -count=1
+go test ./internal/topology -run 'TestFogCloud' -count=1
+
+echo "== hier shard-worker determinism diff =="
+# Byte-identical schedules at every shard-worker count: the same seeded
+# fog–cloud run through the CLI with 1 worker and 8 workers must print
+# identical makespans, bounds, and (deterministic) stats. The package
+# test pins workers 1/4/8 on raw schedules; this diff pins the whole
+# engine pipeline end to end.
+hier_tmp=$(mktemp -d)
+hier_args=(-topo fogcloud -fanout 4,8 -linkw 8,1 -w 64 -k 2 -alg hier -seed 7 -trials 2)
+go run ./cmd/dtmsched "${hier_args[@]}" -shardworkers 1 > "$hier_tmp/w1.txt"
+go run ./cmd/dtmsched "${hier_args[@]}" -shardworkers 8 > "$hier_tmp/w8.txt"
+if ! diff "$hier_tmp/w1.txt" "$hier_tmp/w8.txt"; then
+    echo "hier: shard-worker counts 1 and 8 produced different schedules" >&2
+    exit 1
+fi
+grep -q 'hier_shards:4' "$hier_tmp/w1.txt" || { echo "hier: expected 4 shards in CLI stats" >&2; exit 1; }
+rm -rf "$hier_tmp"
+
 if [[ "${RACE:-0}" != "0" ]]; then
     echo "== go test -race =="
     go test -race ./...
