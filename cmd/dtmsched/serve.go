@@ -15,11 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dtmsched/internal/cliutil"
 	"dtmsched/internal/engine"
+	"dtmsched/internal/faults"
 	"dtmsched/internal/graph"
 	"dtmsched/internal/obs"
 	"dtmsched/internal/stream"
@@ -47,6 +50,9 @@ func runServeCmd(args []string) error {
 		seed     = fs.Int64("seed", 0, "root seed (0 = library default)")
 		ledger   = fs.String("ledger", "", "append one run record (stream counters + window latency) to FILE")
 		prom     = fs.String("prom", "", "write the final Prometheus text exposition to FILE")
+		faultsF  = fs.String("faults", "", "chaos injection RATE[,SEED]: per-chunk link down/slow at RATE, crashes at RATE/2, drops at RATE/4 (empty = off)")
+		shed     = fs.Int("shed", 3, "requeues a down-node transaction survives before it is shed")
+		trip     = fs.Float64("inflation-trip", 1.5, "rolling makespan-inflation ratio that trips the admission breaker to reject")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +81,37 @@ func runServeCmd(args []string) error {
 
 	g := topo.Graph()
 	metric := graph.FuncMetric(topo.Dist)
+
+	spec, err := cliutil.ParseFaultSpec(*faultsF)
+	if err != nil {
+		return err
+	}
+	var inj faults.Injector
+	if spec.Rate > 0 {
+		chaosSeed := spec.Seed
+		if chaosSeed == 0 {
+			chaosSeed = rootSeed
+		}
+		// Horizon covers roughly twice the nominal stream duration so
+		// chaos pressure persists through the drain; the redraw chunk is
+		// the expected steps one serving window takes to fill.
+		horizon := int64(2 * float64(*txns) / *rate)
+		if horizon < 64 {
+			horizon = 64
+		}
+		effWindow := *window
+		if effWindow <= 0 {
+			effWindow = g.NumNodes()
+		}
+		chunk := int64(float64(effWindow) / *rate)
+		inj, err = stream.NewChaos(stream.ChaosConfig{
+			Rate: spec.Rate, Seed: chaosSeed, Horizon: horizon, Chunk: chunk,
+		}, g)
+		if err != nil {
+			return err
+		}
+	}
+
 	homes := make([]graph.NodeID, wl.W)
 	homeRng := xrand.NewDerived(rootSeed, "serve", "homes", tf.Name)
 	for o := range homes {
@@ -97,10 +134,20 @@ func runServeCmd(args []string) error {
 		Deadline:      *deadline,
 		PipelineDepth: *pipeline,
 		Collector:     col,
+		Faults:        inj,
+		MaxRequeue:    *shed,
+		InflationTrip: *trip,
+		OnCancel:      stream.CancelDrain,
 	}
 
+	// SIGINT/SIGTERM trigger a graceful drain: stop admitting, flush the
+	// queue and in-flight windows, then print the summary and write the
+	// ledger as usual with the cancelled marker set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := stream.Serve(context.Background(), cfg)
+	res, err := stream.Serve(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -113,6 +160,14 @@ func runServeCmd(args []string) error {
 	fmt.Printf("clock=%d steps throughput=%.4f txn/step comm=%d queue_peak=%d\n",
 		res.Clock, res.Throughput, res.CommCost, res.QueuePeak)
 	fmt.Printf("response mean=%.2f max=%d steps\n", res.MeanResponse, res.MaxResponse)
+	if inj != nil {
+		fmt.Printf("faults %s: requeued=%d shed=%d degraded=%d inflation=%.3f trips=%d recoveries=%d\n",
+			*faultsF, res.Requeued, res.Shed, res.DegradedWindows,
+			res.MeanInflation, res.BreakerTrips, res.BreakerRecoveries)
+	}
+	if res.Cancelled {
+		fmt.Println("cancelled: drained queued and in-flight windows before summarizing")
+	}
 	fmt.Printf("digest=%016x wall=%s\n", res.Digest, wall.Round(time.Millisecond))
 
 	if *prom != "" {
@@ -130,7 +185,7 @@ func runServeCmd(args []string) error {
 		fmt.Printf("wrote %s\n", *prom)
 	}
 	if *ledger != "" {
-		if err := appendServeRecord(*ledger, tf.Name, wf.Name, fs, rootSeed, res, col, wall); err != nil {
+		if err := appendServeRecord(*ledger, tf.Name, wf.Name, fs, rootSeed, inj != nil, res, col, wall); err != nil {
 			return err
 		}
 		fmt.Printf("appended run record to %s\n", *ledger)
@@ -143,27 +198,39 @@ func runServeCmd(args []string) error {
 // distribution, fingerprinted by the full serving configuration so
 // `bench compare` pools repeat runs of one setup.
 func appendServeRecord(path, topoName, workload string, fs *flag.FlagSet, rootSeed int64,
-	res *stream.Result, col *obs.Collector, wall time.Duration) error {
+	faultsOn bool, res *stream.Result, col *obs.Collector, wall time.Duration) error {
 	config := map[string]string{"topo": topoName, "workload": workload}
-	for _, name := range []string{"n", "side", "dim", "alpha", "beta", "gamma",
+	names := []string{"n", "side", "dim", "alpha", "beta", "gamma",
 		"fanout", "linkw", "w", "k", "locality",
-		"rate", "txns", "window", "queue", "policy", "verify"} {
+		"rate", "txns", "window", "queue", "policy", "verify"}
+	if faultsOn {
+		// Chaos flags enter the fingerprint only when active, so
+		// fault-free records keep their historical grouping.
+		names = append(names, "faults", "shed", "inflation-trip")
+	}
+	for _, name := range names {
 		config[name] = fs.Lookup(name).Value.String()
 	}
 	config["seed"] = fmt.Sprint(rootSeed)
 
 	rec := obs.RunRecord{
-		Experiment:      "serve/" + topoName,
-		Config:          config,
-		Seed:            rootSeed,
-		Algorithm:       "stream/window",
-		TotalMS:         float64(wall.Nanoseconds()) / 1e6,
-		Executed:        res.Committed,
-		StreamAdmitted:  res.Admitted,
-		StreamRejected:  res.Rejected,
-		StreamBlocked:   res.Blocked,
-		StreamWindows:   int64(res.Windows),
-		StreamQueuePeak: int64(res.QueuePeak),
+		Experiment:       "serve/" + topoName,
+		Config:           config,
+		Seed:             rootSeed,
+		Algorithm:        "stream/window",
+		TotalMS:          float64(wall.Nanoseconds()) / 1e6,
+		Executed:         res.Committed,
+		StreamAdmitted:   res.Admitted,
+		StreamRejected:   res.Rejected,
+		StreamBlocked:    res.Blocked,
+		StreamWindows:    int64(res.Windows),
+		StreamQueuePeak:  int64(res.QueuePeak),
+		StreamRequeued:   res.Requeued,
+		StreamShed:       res.Shed,
+		StreamDegraded:   int64(res.DegradedWindows),
+		StreamInflation:  res.MeanInflation,
+		StreamTrips:      int64(res.BreakerTrips),
+		StreamRecoveries: int64(res.BreakerRecoveries),
 	}
 	for _, s := range col.Registry().Snapshot() {
 		switch s.Name {

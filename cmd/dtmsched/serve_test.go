@@ -76,6 +76,58 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeChaosSmoke runs the serve command under chaos injection twice
+// with one seed and checks the run is deterministic, the health layer
+// engages, and the ledger record carries the fault counters with a
+// fingerprint distinct from the fault-free run of the same flags.
+func TestServeChaosSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "chaos.jsonl")
+	base := []string{"-topo", "clique", "-n", "12", "-w", "6", "-rate", "1.2",
+		"-txns", "150", "-window", "6", "-queue", "12", "-policy", "block",
+		"-seed", "7", "-ledger", ledger}
+	chaos := append(append([]string{}, base...), "-faults", "0.25,99")
+	if err := runServeCmd(chaos); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServeCmd(chaos); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServeCmd(base); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadLedgerFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	a, b, clean := recs[0], recs[1], recs[2]
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("same chaos flags, different fingerprints: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.StreamRequeued != b.StreamRequeued || a.StreamShed != b.StreamShed ||
+		a.StreamAdmitted != b.StreamAdmitted || a.StreamInflation != b.StreamInflation {
+		t.Errorf("chaos run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.StreamRequeued == 0 {
+		t.Errorf("25%% chaos never requeued a transaction: %+v", a)
+	}
+	if a.StreamAdmitted != a.Executed+a.StreamShed {
+		t.Errorf("admitted %d != committed %d + shed %d", a.StreamAdmitted, a.Executed, a.StreamShed)
+	}
+	if clean.Fingerprint == a.Fingerprint {
+		t.Error("chaos and fault-free runs share a ledger fingerprint")
+	}
+	if clean.StreamRequeued != 0 || clean.StreamShed != 0 || clean.StreamInflation != 0 {
+		t.Errorf("fault-free record carries fault counters: %+v", clean)
+	}
+	if code := runBenchCmd([]string{"gate", ledger, ledger}); code != 0 {
+		t.Errorf("gating the chaos ledger against itself exited %d, want 0", code)
+	}
+}
+
 // TestServeFlagErrors covers the flag validation paths.
 func TestServeFlagErrors(t *testing.T) {
 	for name, args := range map[string][]string{
@@ -83,6 +135,9 @@ func TestServeFlagErrors(t *testing.T) {
 		"workload": {"-workload", "nope"},
 		"policy":   {"-policy", "drop"},
 		"verify":   {"-verify", "maybe"},
+		"faults":   {"-faults", "1.5"},
+		"faults2":  {"-faults", "0.1,zz"},
+		"shed":     {"-shed", "-1"},
 	} {
 		if err := runServeCmd(append(args, "-txns", "5")); err == nil {
 			t.Errorf("%s: bad flag accepted", name)

@@ -203,6 +203,41 @@ func (wf *WorkloadFlags) Build(topo topology.Topology) (tm.Workload, error) {
 	}
 }
 
+// FaultSpec is the parsed -faults flag: the chaos rate fanned over the
+// fault classes, plus an optional plan seed decoupled from the workload
+// seed so chaos can be re-rolled without changing the transaction stream.
+type FaultSpec struct {
+	Rate float64
+	Seed int64 // 0 = reuse the run's root seed
+}
+
+// ParseFaultSpec parses "RATE" or "RATE,SEED" (e.g. "0.1" or "0.1,99").
+// The empty string means chaos off and parses to the zero spec.
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	var spec FaultSpec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > 2 {
+		return spec, fmt.Errorf("-faults %q: want RATE or RATE,SEED", s)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return spec, fmt.Errorf("-faults %q: rate must be a number in [0,1]", s)
+	}
+	spec.Rate = rate
+	if len(parts) == 2 {
+		seed, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-faults %q: bad seed %q", s, parts[1])
+		}
+		spec.Seed = seed
+	}
+	return spec, nil
+}
+
 // FogSubtree returns the group-assignment function the localized workload
 // and the partitioned fixtures share: a node's tier-1 subtree index, or -1
 // for the cloud root (which then draws uniformly).

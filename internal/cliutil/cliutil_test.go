@@ -128,3 +128,25 @@ func TestFogSubtreeAssignment(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaultSpec(t *testing.T) {
+	good := map[string]FaultSpec{
+		"":          {},
+		"0":         {},
+		"0.25":      {Rate: 0.25},
+		"0.1,99":    {Rate: 0.1, Seed: 99},
+		" 0.5 , 7 ": {Rate: 0.5, Seed: 7},
+		"1":         {Rate: 1},
+	}
+	for in, want := range good {
+		got, err := ParseFaultSpec(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"1.5", "-0.1", "x", "0.1,zz", "0.1,2,3", ","} {
+		if _, err := ParseFaultSpec(in); err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted", in)
+		}
+	}
+}

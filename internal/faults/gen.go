@@ -33,6 +33,14 @@ type Config struct {
 	// MeanOutage is the mean fault duration in steps (default
 	// max(Horizon/8, 1)); durations are uniform in [1, 2·MeanOutage].
 	MeanOutage int64
+	// Recur, when > 0, splits the horizon into chunks of Recur steps and
+	// redraws every fault site once per chunk instead of once per run, so
+	// fault pressure persists over long horizons (the chaos mode of the
+	// streaming service, which keys chunks to its serving windows). Each
+	// (site, chunk) pair draws from its own derived stream, so plans stay
+	// identical across graph construction order and parallelism, and
+	// Recur = 0 reproduces today's single-draw plans bit-for-bit.
+	Recur int64
 }
 
 // rated reports whether any interval fault class has a nonzero rate.
@@ -73,19 +81,44 @@ func New(cfg Config, g *graph.Graph) (*Plan, error) {
 	if mean < 1 {
 		return nil, fmt.Errorf("faults: mean outage %d < 1", mean)
 	}
+	if cfg.Recur < 0 {
+		return nil, fmt.Errorf("faults: recur chunk %d < 0", cfg.Recur)
+	}
 
 	var fs []Fault
-	interval := func(r float64, kind string, a, b int64) (int64, int64, bool) {
+	// intervals draws every active interval of one fault site. With
+	// Recur = 0 a site draws exactly once over the whole horizon (one
+	// stream per site — the historical plan shape); with Recur > 0 it
+	// draws once per chunk from a per-(site, chunk) stream, each hit
+	// landing inside its own chunk.
+	intervals := func(r float64, kind string, a, b int64, emit func(from, to int64)) {
 		if r <= 0 {
-			return 0, 0, false
+			return
 		}
-		rng := xrand.NewDerived(cfg.Seed, "faults", kind, fmt.Sprint(a), fmt.Sprint(b))
-		if rng.Float64() >= r {
-			return 0, 0, false
+		if cfg.Recur <= 0 {
+			rng := xrand.NewDerived(cfg.Seed, "faults", kind, fmt.Sprint(a), fmt.Sprint(b))
+			if rng.Float64() >= r {
+				return
+			}
+			from := 1 + rng.Int63n(cfg.Horizon)
+			dur := 1 + rng.Int63n(2*mean)
+			emit(from, from+dur)
+			return
 		}
-		from := 1 + rng.Int63n(cfg.Horizon)
-		dur := 1 + rng.Int63n(2*mean)
-		return from, from + dur, true
+		for start := int64(0); start < cfg.Horizon; start += cfg.Recur {
+			width := cfg.Recur
+			if rem := cfg.Horizon - start; rem < width {
+				width = rem
+			}
+			rng := xrand.NewDerived(cfg.Seed, "faults", kind,
+				fmt.Sprint(a), fmt.Sprint(b), "chunk", fmt.Sprint(start/cfg.Recur))
+			if rng.Float64() >= r {
+				continue
+			}
+			from := start + 1 + rng.Int63n(width)
+			dur := 1 + rng.Int63n(2*mean)
+			emit(from, from+dur)
+		}
 	}
 	if cfg.rated() {
 		n := g.NumNodes()
@@ -100,18 +133,18 @@ func New(cfg Config, g *graph.Graph) (*Plan, error) {
 					continue // parallel links fault as one site
 				}
 				seen[k] = struct{}{}
-				if from, to, hit := interval(cfg.LinkDownRate, "link-down", int64(k.u), int64(k.v)); hit {
+				intervals(cfg.LinkDownRate, "link-down", int64(k.u), int64(k.v), func(from, to int64) {
 					fs = append(fs, Fault{Kind: LinkDown, From: from, To: to, U: k.u, V: k.v})
-				}
-				if from, to, hit := interval(cfg.LinkSlowRate, "link-slow", int64(k.u), int64(k.v)); hit {
+				})
+				intervals(cfg.LinkSlowRate, "link-slow", int64(k.u), int64(k.v), func(from, to int64) {
 					fs = append(fs, Fault{Kind: LinkSlow, From: from, To: to, U: k.u, V: k.v, Factor: factor})
-				}
+				})
 			}
 		}
 		for v := 0; v < n; v++ {
-			if from, to, hit := interval(cfg.CrashRate, "crash", int64(v), 0); hit {
+			intervals(cfg.CrashRate, "crash", int64(v), 0, func(from, to int64) {
 				fs = append(fs, Fault{Kind: NodeCrash, From: from, To: to, Node: graph.NodeID(v)})
-			}
+			})
 		}
 	}
 	p, err := FromFaults(fs...)

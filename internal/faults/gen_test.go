@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"dtmsched/internal/topology"
+)
+
+func TestRecurZeroMatchesSingleDraw(t *testing.T) {
+	// Recur is purely additive: a zero chunk must reproduce the
+	// historical single-draw plan bit-for-bit (the zero-fault and
+	// batch-sweep baselines depend on it).
+	g := topology.NewSquareGrid(6).Graph()
+	cfg := Config{Seed: 11, Horizon: 300, LinkDownRate: 0.2, LinkSlowRate: 0.15, CrashRate: 0.1, DropRate: 0.05}
+	base := MustNew(cfg, g)
+	cfg.Recur = 0
+	again := MustNew(cfg, g)
+	if !reflect.DeepEqual(base.Faults(), again.Faults()) {
+		t.Fatal("Recur=0 changed the generated plan")
+	}
+}
+
+func TestRecurRedrawsPerChunk(t *testing.T) {
+	g := topology.NewClique(8).Graph()
+	cfg := Config{Seed: 3, Horizon: 800, Recur: 100, MeanOutage: 20,
+		LinkDownRate: 0.3, CrashRate: 0.2}
+	a := MustNew(cfg, g)
+	b := MustNew(cfg, g)
+	if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Fatal("recurring plans are not seed-deterministic")
+	}
+	// Every generated interval starts inside its own chunk.
+	for _, f := range a.Faults() {
+		if f.From < 1 || f.From > cfg.Horizon {
+			t.Fatalf("fault start %d outside (0,%d]", f.From, cfg.Horizon)
+		}
+	}
+	// A recurring plan over many chunks should carry strictly more faults
+	// than the single-draw plan at the same rates: each site gets eight
+	// chances instead of one.
+	single := MustNew(Config{Seed: 3, Horizon: 800, MeanOutage: 20,
+		LinkDownRate: 0.3, CrashRate: 0.2}, g)
+	if a.Count() <= single.Count() {
+		t.Fatalf("recurring plan has %d faults, single-draw %d — expected more pressure",
+			a.Count(), single.Count())
+	}
+	// Late chunks actually fire: chaos pressure must not decay over the
+	// horizon (the whole point of recurring draws).
+	var late int
+	for _, f := range a.Faults() {
+		if f.From > cfg.Horizon/2 {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatal("no faults in the second half of the horizon")
+	}
+}
+
+func TestRecurValidation(t *testing.T) {
+	g := topology.NewClique(4).Graph()
+	if _, err := New(Config{Seed: 1, Horizon: 100, LinkDownRate: 0.1, Recur: -5}, g); err == nil {
+		t.Fatal("negative Recur accepted")
+	}
+}

@@ -251,6 +251,60 @@ func (c *Collector) StreamCommit(size int) {
 	c.reg.Counter("stream_committed_total").Add(int64(size))
 }
 
+// StreamRequeue records the health layer's decisions at one window cut:
+// count transactions pushed back because their node is down, plus the
+// requeue backlog depth after the cut (current-value gauge and all-time
+// peak). Nil collectors are allocation-free no-ops.
+func (c *Collector) StreamRequeue(count int64, depth int) {
+	if c == nil {
+		return
+	}
+	if count > 0 {
+		c.reg.Counter("stream_requeue_total").Add(count)
+	}
+	c.reg.Gauge("stream_requeue_depth").Set(int64(depth))
+	c.reg.Gauge("stream_requeue_depth_peak").Max(int64(depth))
+}
+
+// StreamShed records transactions dropped after exhausting their requeue
+// budget. Nil collectors are allocation-free no-ops.
+func (c *Collector) StreamShed(count int64) {
+	if c == nil || count <= 0 {
+		return
+	}
+	c.reg.Counter("stream_shed_total").Add(count)
+}
+
+// StreamBreaker records one admission circuit-breaker transition: a trip
+// into load shedding (open) or a recovery back to the configured policy.
+// Nil collectors are allocation-free no-ops.
+func (c *Collector) StreamBreaker(open bool) {
+	if c == nil {
+		return
+	}
+	if open {
+		c.reg.Counter("stream_breaker_trips_total").Inc()
+	} else {
+		c.reg.Counter("stream_breaker_recoveries_total").Inc()
+	}
+}
+
+// StreamFaultWindow records one executed window's fault outcome: the
+// window-relative makespan inflation in integer percent (100 = the
+// window finished on its planned end) and whether the window was
+// degraded (committed past its plan). Nil collectors are allocation-free
+// no-ops.
+func (c *Collector) StreamFaultWindow(inflation float64, degraded bool) {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("stream_fault_windows_total").Inc()
+	if degraded {
+		c.reg.Counter("stream_fault_degraded_total").Inc()
+	}
+	c.reg.Histogram("stream_fault_inflation_pct", nil).Observe(int64(inflation*100 + 0.5))
+}
+
 // Retry counts one engine-level job retry (RunBatch's transient-failure
 // retry policy). Nil-safe and allocation-free on the nil path.
 func (c *Collector) Retry() {

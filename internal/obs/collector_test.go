@@ -31,6 +31,11 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 		c.StreamAdmit(1, 1, 1, 1)
 		c.StreamWindow(1, 1, nil)
 		c.StreamCommit(1)
+		c.StreamRequeue(1, 2)
+		c.StreamShed(1)
+		c.StreamBreaker(true)
+		c.StreamBreaker(false)
+		c.StreamFaultWindow(1.5, true)
 		if c.Tracing() {
 			t.Fatal("nil collector must not trace")
 		}
@@ -63,6 +68,42 @@ func TestCollectorStageMetrics(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Errorf("metrics-only collector exported %d bytes of trace", buf.Len())
+	}
+}
+
+func TestCollectorStreamFaultMetrics(t *testing.T) {
+	c := NewMetricsCollector()
+	c.StreamRequeue(2, 3)
+	c.StreamRequeue(1, 1)
+	c.StreamRequeue(0, 0) // depth gauge still tracks the drained queue
+	c.StreamShed(2)
+	c.StreamShed(0) // no-op
+	c.StreamBreaker(true)
+	c.StreamBreaker(false)
+	c.StreamFaultWindow(1.0, false)
+	c.StreamFaultWindow(2.5, true)
+	reg := c.Registry()
+	for name, want := range map[string]int64{
+		"stream_requeue_total":            3,
+		"stream_shed_total":               2,
+		"stream_breaker_trips_total":      1,
+		"stream_breaker_recoveries_total": 1,
+		"stream_fault_windows_total":      2,
+		"stream_fault_degraded_total":     1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("stream_requeue_depth").Value(); got != 0 {
+		t.Errorf("requeue depth = %d, want 0 after drain", got)
+	}
+	if got := reg.Gauge("stream_requeue_depth_peak").Value(); got != 3 {
+		t.Errorf("requeue depth peak = %d, want 3", got)
+	}
+	h := reg.Histogram("stream_fault_inflation_pct", nil)
+	if h.Count() != 2 || h.Sum() != 100+250 {
+		t.Errorf("inflation histogram count=%d sum=%d, want 2/350", h.Count(), h.Sum())
 	}
 }
 

@@ -166,10 +166,18 @@ func gateMetrics(r *RunRecord) []metricVal {
 		{"stream_blocked", r.StreamBlocked},
 		{"stream_windows", r.StreamWindows},
 		{"stream_queue_peak", r.StreamQueuePeak},
+		{"stream_requeued", r.StreamRequeued},
+		{"stream_shed", r.StreamShed},
+		{"stream_degraded", r.StreamDegraded},
+		{"stream_breaker_trips", r.StreamTrips},
+		{"stream_breaker_recoveries", r.StreamRecoveries},
 	} {
 		if c.v != 0 {
 			out = append(out, metricVal{c.name, ClassCount, float64(c.v)})
 		}
+	}
+	if r.StreamInflation > 0 {
+		out = append(out, metricVal{"stream_inflation", ClassCount, r.StreamInflation})
 	}
 	return out
 }

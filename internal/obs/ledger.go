@@ -247,6 +247,17 @@ type RunRecord struct {
 	StreamQueuePeak int64         `json:"stream_queue_peak,omitempty"`
 	WindowLatency   *HistSnapshot `json:"window_latency,omitempty"`
 
+	// StreamFault* summarize the fault-tolerance layer of a chaos serving
+	// run: requeues and sheds from the health tracker, degraded windows
+	// and their mean makespan inflation, and breaker transitions. All zero
+	// for fault-free runs, so zero-fault records stay byte-identical.
+	StreamRequeued   int64   `json:"stream_requeued,omitempty"`
+	StreamShed       int64   `json:"stream_shed,omitempty"`
+	StreamDegraded   int64   `json:"stream_degraded,omitempty"`
+	StreamInflation  float64 `json:"stream_inflation,omitempty"`
+	StreamTrips      int64   `json:"stream_breaker_trips,omitempty"`
+	StreamRecoveries int64   `json:"stream_breaker_recoveries,omitempty"`
+
 	// Env is the execution environment.
 	Env Env `json:"env"`
 }

@@ -10,6 +10,7 @@ import (
 
 	"dtmsched/internal/depgraph"
 	"dtmsched/internal/engine"
+	"dtmsched/internal/faults"
 	"dtmsched/internal/graph"
 	"dtmsched/internal/lower"
 	"dtmsched/internal/obs"
@@ -53,14 +54,48 @@ type Config struct {
 	Collector *obs.Collector
 	// Hook observes the per-window engine jobs (ledger hooks etc.).
 	Hook engine.Hook
+
+	// Faults, when set to a non-empty injector (NewChaos, or any
+	// faults.Injector), turns on fault-tolerant serving: every window
+	// executes under sim.RunFaulty, transactions homed on down nodes are
+	// requeued with backoff instead of scheduled into a doomed window,
+	// and the admission circuit breaker sheds load while windows run
+	// inflated. Nil or empty keeps serving byte-identical to the
+	// fault-free path (same decisions, same Digest).
+	Faults faults.Injector
+	// MaxRequeue bounds how many times one transaction is pushed back
+	// before it is shed (0 = 3).
+	MaxRequeue int
+	// RequeueBackoff is the base requeue delay in window-time steps: the
+	// k-th requeue of a transaction waits base·2^(k−1) steps, or until
+	// its node's known restart if later (0 = 4).
+	RequeueBackoff int64
+	// InflationTrip is the circuit-breaker trip threshold on the rolling
+	// mean window inflation — committed window makespan over fault-free
+	// planned makespan, both relative to the cut step (0 = 1.5). While
+	// tripped, admission runs Reject regardless of Policy.
+	InflationTrip float64
+	// InflationReset closes the breaker again once the rolling mean
+	// falls to it (0 = halfway between 1 and InflationTrip). Must not
+	// exceed InflationTrip.
+	InflationReset float64
+	// BreakerWindow is the rolling-mean length in executed windows
+	// (0 = 4).
+	BreakerWindow int
+	// OnCancel selects the context-cancellation behavior: CancelAbort
+	// (default) returns the context error immediately; CancelDrain
+	// flushes the queue and in-flight windows and returns the summary
+	// with Result.Cancelled set.
+	OnCancel CancelPolicy
 }
 
-// Result summarizes one drained stream. All fields except nothing are
-// deterministic for a fixed seed and configuration.
+// Result summarizes one drained stream. Every field is deterministic for
+// a fixed seed and configuration.
 type Result struct {
 	// Admitted / Rejected / Blocked are the admission-control outcomes:
 	// transactions that entered the queue, were dropped by the Reject
-	// policy, or stalled at least once under the Block policy.
+	// policy (or the tripped breaker), or stalled at least once under
+	// the Block policy.
 	Admitted int64
 	Rejected int64
 	Blocked  int64
@@ -83,19 +118,62 @@ type Result struct {
 	// Throughput is Committed / Clock, in transactions per step.
 	Throughput float64
 	// Digest fingerprints the run's logical decisions — admission order,
-	// window cuts, and commit steps — so two runs can be compared for
+	// window cuts, commit steps, and (under faults) every requeue, shed,
+	// and breaker transition — so two runs can be compared for
 	// bit-determinism without retaining every schedule.
 	Digest uint64
+
+	// Requeued counts requeue decisions (one transaction may requeue
+	// several times); RequeuePeak is the largest requeue backlog after
+	// any window cut. Both zero without faults.
+	Requeued    int64
+	RequeuePeak int
+	// Shed counts admitted transactions dropped after exhausting their
+	// requeue budget — surfaced, never silently lost.
+	Shed int64
+	// DegradedWindows counts executed windows that committed past their
+	// planned end under faults.
+	DegradedWindows int
+	// MeanInflation is the mean window-relative fault inflation over all
+	// executed windows (1 = every window on plan; 0 without faults).
+	MeanInflation float64
+	// BreakerTrips / BreakerRecoveries count admission circuit-breaker
+	// transitions.
+	BreakerTrips      int
+	BreakerRecoveries int
+	// Cancelled reports that the run was cut short by context
+	// cancellation under CancelDrain: the source was abandoned but every
+	// admitted transaction was flushed through a window.
+	Cancelled bool
 }
 
 // windowJob is one cut window handed to the executor: the shadow
 // instance (homes frozen at the objects' release positions), the
-// absolute-time schedule, and the member items.
+// absolute-time schedule, the member items, and the cut interval the
+// health layer judges fault inflation against.
 type windowJob struct {
-	index int
-	in    *tm.Instance
-	sched *schedule.Schedule
-	size  int
+	index      int
+	in         *tm.Instance
+	sched      *schedule.Schedule
+	size       int
+	cutClock   int64
+	plannedEnd int64
+}
+
+// windowOutcome is the executor's deterministic feedback for one window:
+// the window-relative inflation the breaker consumes, drained by the
+// serving loop with a fixed lag of PipelineDepth windows.
+type windowOutcome struct {
+	index     int
+	inflation float64
+	degraded  bool
+}
+
+// qitem is one queued transaction plus its health-layer state.
+type qitem struct {
+	it       Item
+	attempts int   // requeue count so far
+	retryAt  int64 // earliest cut step this item is eligible again
 }
 
 // Serve drains the configured stream: admit → cut → schedule → execute
@@ -107,18 +185,12 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.G == nil || cfg.Source == nil {
-		return nil, fmt.Errorf("stream: Config needs G and Source")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	metric := cfg.Metric
 	if metric == nil {
 		metric = cfg.G
-	}
-	if cfg.NumObjects <= 0 {
-		return nil, fmt.Errorf("stream: NumObjects %d < 1", cfg.NumObjects)
-	}
-	if len(cfg.Home) != cfg.NumObjects {
-		return nil, fmt.Errorf("stream: %d homes for %d objects", len(cfg.Home), cfg.NumObjects)
 	}
 	n := cfg.G.NumNodes()
 	maxWindow := cfg.MaxWindow
@@ -135,11 +207,49 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	col := cfg.Collector
 
+	// Fault-tolerant serving state. Everything in this block is inert
+	// when the injector is nil or empty: no requeue checks, no breaker,
+	// no extra digest records — the zero-fault run stays byte-identical
+	// to the historical path.
+	faultsOn := cfg.Faults != nil && !cfg.Faults.Empty()
+	maxRequeue := cfg.MaxRequeue
+	if maxRequeue <= 0 {
+		maxRequeue = 3
+	}
+	backoffBase := cfg.RequeueBackoff
+	if backoffBase <= 0 {
+		backoffBase = 4
+	}
+	trip := cfg.InflationTrip
+	if trip <= 0 {
+		trip = 1.5
+	}
+	reset := cfg.InflationReset
+	if reset <= 0 {
+		reset = 1 + (trip-1)/2
+	}
+	breakerWin := cfg.BreakerWindow
+	if breakerWin <= 0 {
+		breakerWin = 4
+	}
+	drainOnCancel := cfg.OnCancel == CancelDrain
+
 	// Executor: windows run through the engine (with the batch layer's
 	// retry/deadline policies) while the serving loop cuts the next one.
 	// The loop owns all scheduling state, so executor interleaving never
-	// touches determinism.
+	// touches determinism: under faults the executor reports each
+	// window's outcome on a FIFO channel the loop drains at fixed
+	// deterministic points (before cutting window w it has consumed the
+	// outcomes of windows ≤ w − PipelineDepth).
+	execCtx := ctx
+	if drainOnCancel {
+		execCtx = context.WithoutCancel(ctx)
+	}
 	jobs := make(chan windowJob, depth)
+	var resCh chan windowOutcome
+	if faultsOn {
+		resCh = make(chan windowOutcome, depth+2)
+	}
 	var (
 		execWG    sync.WaitGroup
 		execErr   error
@@ -149,18 +259,28 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	execWG.Add(1)
 	go func() {
 		defer execWG.Done()
+		if resCh != nil {
+			defer close(resCh)
+		}
 		for wj := range jobs {
 			if execErr != nil {
+				if resCh != nil {
+					resCh <- windowOutcome{index: wj.index, inflation: 1}
+				}
 				continue // drain remaining windows after a failure
 			}
-			results, err := engine.RunBatch(ctx, []engine.Job{{
+			job := engine.Job{
 				Name:           fmt.Sprintf("stream/w%d", wj.index),
 				Instance:       wj.in,
 				Schedule:       wj.sched,
 				Algorithm:      "stream/window",
 				Verify:         cfg.Verify,
 				SkipLowerBound: true,
-			}}, engine.Options{
+			}
+			if faultsOn {
+				job.Faults = cfg.Faults
+			}
+			results, err := engine.RunBatch(execCtx, []engine.Job{job}, engine.Options{
 				Workers:     1,
 				Hook:        cfg.Hook,
 				Collector:   col,
@@ -178,10 +298,24 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			if err != nil {
 				execErr = fmt.Errorf("stream: window %d execution failed: %w", wj.index, err)
+				if resCh != nil {
+					resCh <- windowOutcome{index: wj.index, inflation: 1}
+				}
 				continue
 			}
 			committed += int64(wj.size)
 			col.StreamCommit(wj.size)
+			if resCh != nil {
+				oc := windowOutcome{index: wj.index, inflation: 1}
+				if fr := results[0].Report.Fault; fr != nil && wj.plannedEnd > wj.cutClock {
+					oc.inflation = float64(fr.Makespan-wj.cutClock) / float64(wj.plannedEnd-wj.cutClock)
+					if oc.inflation < 1 {
+						oc.inflation = 1
+					}
+					oc.degraded = fr.Makespan > wj.plannedEnd
+				}
+				resCh <- oc
+			}
 		}
 	}()
 
@@ -203,6 +337,55 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Digest tags for the fault-path records. Normal records are
+	// (seq ≥ 0, step ≥ 1) pairs, so a negative first word is
+	// unambiguous; none of these are written on a zero-fault run.
+	const (
+		digestRequeue int64 = -1
+		digestShed    int64 = -2
+		digestBreaker int64 = -3
+	)
+
+	// Circuit-breaker state: a rolling window of per-window inflation
+	// ratios fed exclusively from the deterministic outcome drain.
+	var (
+		breakerOpen bool
+		inflHist    []float64
+		sumInfl     float64
+		outcomes    int
+		reported    int
+	)
+	handleOutcome := func(oc windowOutcome) {
+		reported++
+		outcomes++
+		sumInfl += oc.inflation
+		if oc.degraded {
+			res.DegradedWindows++
+		}
+		col.StreamFaultWindow(oc.inflation, oc.degraded)
+		inflHist = append(inflHist, oc.inflation)
+		if len(inflHist) > breakerWin {
+			inflHist = inflHist[1:]
+		}
+		var mean float64
+		for _, v := range inflHist {
+			mean += v
+		}
+		mean /= float64(len(inflHist))
+		switch {
+		case !breakerOpen && mean >= trip:
+			breakerOpen = true
+			res.BreakerTrips++
+			col.StreamBreaker(true)
+			hash64(digestBreaker, int64(oc.index), 1)
+		case breakerOpen && mean <= reset:
+			breakerOpen = false
+			res.BreakerRecoveries++
+			col.StreamBreaker(false)
+			hash64(digestBreaker, int64(oc.index), 0)
+		}
+	}
+
 	// Chained scheduling state: object release steps/nodes and per-node
 	// last-commit steps span the whole stream, exactly as windows.Run
 	// chains homes across a finite sequence. The mutable conflict index
@@ -216,7 +399,7 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	checker := windows.NewChainChecker(metric, cfg.Home)
 
 	var (
-		queue      []Item
+		queue      []qitem
 		pending    *Item
 		pendingHit bool // pending already counted as blocked
 		srcDone    bool
@@ -226,11 +409,19 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	)
 
 	// admit pulls arrivals with Arrive ≤ upTo into the bounded queue in
-	// arrival order, applying the backpressure policy when full.
+	// arrival order, applying the backpressure policy when full. A
+	// tripped breaker forces Reject whatever the configured policy.
 	admit := func(upTo int64) error {
 		var admitted, rejected, blocked int64
+		policy := cfg.Policy
+		if breakerOpen {
+			policy = Reject
+		}
 		for {
 			if pending == nil {
+				if srcDone {
+					break
+				}
 				it, ok := cfg.Source.Next()
 				if !ok {
 					srcDone = true
@@ -255,7 +446,7 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 				break
 			}
 			if len(queue) >= queueCap {
-				if cfg.Policy == Reject {
+				if policy == Reject {
 					rejected++
 					pending = nil
 					continue
@@ -268,7 +459,7 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				break
 			}
-			queue = append(queue, *pending)
+			queue = append(queue, qitem{it: *pending})
 			admitted++
 			pending = nil
 			if len(queue) > res.QueuePeak {
@@ -284,7 +475,27 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 
 	for {
 		if err := ctx.Err(); err != nil {
-			return fail(err)
+			if !drainOnCancel {
+				return fail(err)
+			}
+			// Graceful shutdown: abandon the source (the un-admitted
+			// pending arrival with it) and flush everything already
+			// admitted through the normal cut/execute path.
+			if !res.Cancelled {
+				res.Cancelled = true
+				srcDone = true
+				pending = nil
+			}
+		}
+		// Deterministic breaker feedback: before cutting window w, the
+		// outcomes of windows ≤ w − PipelineDepth have been consumed, so
+		// the breaker state feeding this iteration's admission and cut
+		// depends only on the seed and configuration, never on executor
+		// timing.
+		if faultsOn {
+			for need := res.Windows - depth + 1; reported < need; {
+				handleOutcome(<-resCh)
+			}
 		}
 		if err := admit(clock); err != nil {
 			return fail(err)
@@ -305,19 +516,91 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 		// Cut: first-come-first-served from the queue front, skipping
 		// transactions whose node is already in the window (the batch
 		// model admits one transaction per node per window); skipped
-		// items keep their queue order for the next cut.
+		// items keep their queue order for the next cut. Under faults
+		// the health layer runs first: items homed on a node that is
+		// down at the cut step are requeued with exponential backoff in
+		// window-time (or until the node's known restart), and items
+		// that exhausted their requeue budget are shed.
 		cut := make([]Item, 0, maxWindow)
 		inWindow := make(map[graph.NodeID]bool, maxWindow)
 		rest := queue[:0]
-		for _, it := range queue {
-			if len(cut) < maxWindow && !inWindow[it.Node] {
-				inWindow[it.Node] = true
-				cut = append(cut, it)
+		var requeuedNow, shedNow int64
+		for _, q := range queue {
+			if faultsOn {
+				if q.retryAt > clock {
+					rest = append(rest, q)
+					continue
+				}
+				if restart, down := cfg.Faults.NodeDownUntil(q.it.Node, clock+1); down {
+					q.attempts++
+					if q.attempts > maxRequeue {
+						shedNow++
+						res.Shed++
+						hash64(digestShed, int64(q.it.Seq), clock)
+						continue
+					}
+					shift := q.attempts - 1
+					if shift > 20 {
+						shift = 20
+					}
+					q.retryAt = clock + backoffBase<<shift
+					if restart != faults.Forever && restart > q.retryAt {
+						q.retryAt = restart
+					}
+					requeuedNow++
+					res.Requeued++
+					hash64(digestRequeue, int64(q.it.Seq), q.retryAt)
+					rest = append(rest, q)
+					continue
+				}
+			}
+			if len(cut) < maxWindow && !inWindow[q.it.Node] {
+				inWindow[q.it.Node] = true
+				cut = append(cut, q.it)
 			} else {
-				rest = append(rest, it)
+				rest = append(rest, q)
 			}
 		}
 		queue = rest
+		if faultsOn {
+			backlog := 0
+			for _, q := range queue {
+				if q.attempts > 0 {
+					backlog++
+				}
+			}
+			if backlog > res.RequeuePeak {
+				res.RequeuePeak = backlog
+			}
+			if requeuedNow > 0 || shedNow > 0 {
+				col.StreamRequeue(requeuedNow, backlog)
+				col.StreamShed(shedNow)
+			}
+			if len(cut) == 0 {
+				// Everything eligible was requeued or shed: advance the
+				// clock to the next event (earliest retry, or the next
+				// arrival if the queue has room for it) instead of
+				// cutting an empty window. Bounded retries guarantee
+				// progress even against a permanently down node.
+				if len(queue) == 0 {
+					continue // loop top handles drain/idle-jump
+				}
+				next := int64(-1)
+				for _, q := range queue {
+					if next < 0 || q.retryAt < next {
+						next = q.retryAt
+					}
+				}
+				if len(queue) < queueCap && pending != nil && pending.Arrive < next {
+					next = pending.Arrive
+				}
+				if next <= clock {
+					next = clock + 1
+				}
+				clock = next
+				continue
+			}
+		}
 
 		// Shadow instance: this window's transactions with object homes
 		// frozen at the current release positions, so the engine's
@@ -405,9 +688,13 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 		col.StreamWindow(len(cut), windowEnd-clock, responses)
 		res.WindowSizes = append(res.WindowSizes, len(cut))
 
+		cancelC := ctx.Done()
+		if drainOnCancel {
+			cancelC = nil // block until the executor frees a slot
+		}
 		select {
-		case jobs <- windowJob{index: res.Windows, in: in, sched: s, size: len(cut)}:
-		case <-ctx.Done():
+		case jobs <- windowJob{index: res.Windows, in: in, sched: s, size: len(cut), cutClock: clock, plannedEnd: windowEnd}:
+		case <-cancelC:
 			return fail(ctx.Err())
 		}
 		res.Windows++
@@ -416,6 +703,11 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 
 	close(jobs)
 	execWG.Wait()
+	if faultsOn {
+		for oc := range resCh {
+			handleOutcome(oc)
+		}
+	}
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -426,6 +718,9 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if res.Clock > 0 {
 		res.Throughput = float64(res.Committed) / float64(res.Clock)
+	}
+	if outcomes > 0 {
+		res.MeanInflation = sumInfl / float64(outcomes)
 	}
 	res.Digest = digest.Sum64()
 	return res, nil

@@ -64,20 +64,37 @@ type Generator struct {
 	next int64
 }
 
-// NewGenerator builds a generator producing limit transactions at the
-// given rate (transactions per step). It panics on a non-positive rate
-// or limit, or a workload without a Pick.
-func NewGenerator(rng *rand.Rand, g *graph.Graph, w tm.Workload, rate float64, limit int) *Generator {
+// MakeGenerator builds a generator producing limit transactions at the
+// given rate (transactions per step), rejecting a non-positive rate or
+// limit, a nil rng or graph, or a workload without a Pick with a typed
+// *ConfigError instead of failing deep inside Serve.
+func MakeGenerator(rng *rand.Rand, g *graph.Graph, w tm.Workload, rate float64, limit int) (*Generator, error) {
+	if rng == nil {
+		return nil, &ConfigError{"Source", "nil rng"}
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return nil, &ConfigError{"Source", "nil or empty graph"}
+	}
 	if rate <= 0 {
-		panic(fmt.Sprintf("stream: non-positive injection rate %v", rate))
+		return nil, &ConfigError{"Source", fmt.Sprintf("non-positive injection rate %v", rate)}
 	}
 	if limit <= 0 {
-		panic(fmt.Sprintf("stream: non-positive stream limit %d", limit))
+		return nil, &ConfigError{"Source", fmt.Sprintf("non-positive stream limit %d", limit)}
 	}
 	if w.Pick == nil {
-		panic("stream: workload has no Pick")
+		return nil, &ConfigError{"Source", "workload has no Pick"}
 	}
-	return &Generator{rng: rng, nodes: g.Nodes(), w: w, rate: rate, limit: limit}
+	return &Generator{rng: rng, nodes: g.Nodes(), w: w, rate: rate, limit: limit}, nil
+}
+
+// NewGenerator is MakeGenerator for callers that treat a bad workload as
+// a programming error: it panics where MakeGenerator reports.
+func NewGenerator(rng *rand.Rand, g *graph.Graph, w tm.Workload, rate float64, limit int) *Generator {
+	gen, err := MakeGenerator(rng, g, w, rate, limit)
+	if err != nil {
+		panic(err.Error())
+	}
+	return gen
 }
 
 // Next implements Source. The first transaction arrives at step 0.

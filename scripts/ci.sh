@@ -122,6 +122,31 @@ done
 go run ./cmd/dtmsched bench gate "$serve_tmp/serve.jsonl" "$serve_tmp/serve.jsonl" >/dev/null
 rm -rf "$serve_tmp"
 
+echo "== chaos serving guards =="
+# Fault-tolerant serving: the race pass over internal/stream above
+# already covers the chaos/requeue/breaker tests with -race; here the
+# CLI layer is pinned. (1) Zero-fault digest guard: the serve smoke
+# flags must keep producing the digest committed before the fault layer
+# landed — the fault paths must be byte-invisible when -faults is off.
+# (2) Chaos determinism: the same chaos seed twice must print identical
+# counts, fault counters, and digest.
+chaos_tmp=$(mktemp -d)
+go run ./cmd/dtmsched "${serve_args[@]}" > "$chaos_tmp/clean.txt"
+grep -q 'digest=a08187a836377e8b' "$chaos_tmp/clean.txt" || {
+    echo "serve: zero-fault digest drifted from the pre-chaos baseline a08187a836377e8b" >&2
+    exit 1
+}
+chaos_args=(serve -topo clique -n 16 -rate 1.5 -txns 200 -window 8 -queue 16 -policy block -seed 7 -faults 0.2,99)
+go run ./cmd/dtmsched "${chaos_args[@]}" > "$chaos_tmp/chaos1.txt"
+go run ./cmd/dtmsched "${chaos_args[@]}" > "$chaos_tmp/chaos2.txt"
+if ! diff <(sed 's/wall=.*//' "$chaos_tmp/chaos1.txt") <(sed 's/wall=.*//' "$chaos_tmp/chaos2.txt"); then
+    echo "serve: same chaos seed produced different runs" >&2
+    exit 1
+fi
+grep -q 'requeued=[1-9]' "$chaos_tmp/chaos1.txt" || { echo "serve: chaos run never requeued" >&2; exit 1; }
+go test ./cmd/dtmsched -run 'TestServeChaosSmoke' -count=1
+rm -rf "$chaos_tmp"
+
 echo "== hierarchical scheduler guards =="
 # The subtree-sharded scheduler writes disjoint slices of one schedule
 # from concurrent shard workers — the whole package must be race-clean —
